@@ -1,0 +1,122 @@
+// Command imrgen generates the synthetic datasets the experiments run
+// on: the paper's catalog graphs (Tables 1–2) in the text interchange
+// format, custom log-normal graphs, and K-means point sets.
+//
+// Usage:
+//
+//	imrgen -list
+//	imrgen -dataset dblp -scale 100 -out dblp.txt
+//	imrgen -kind sssp -nodes 50000 -seed 7 -out g.txt
+//	imrgen -kind pagerank -nodes 50000 -out g.txt
+//	imrgen -kind points -users 5000 -dim 16 -k 8 -out pts.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"imapreduce/internal/algorithms/kmeans"
+	"imapreduce/internal/graph"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the paper's dataset catalog and exit")
+		dataset = flag.String("dataset", "", "catalog dataset name (dblp, facebook, sssp-s/m/l, google, berkstan, pagerank-s/m/l)")
+		scale   = flag.Int("scale", graph.DefaultScale, "divide the paper's node counts by this factor")
+		kind    = flag.String("kind", "", "custom dataset kind: sssp | pagerank | points")
+		nodes   = flag.Int("nodes", 10000, "node count for custom graphs")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		users   = flag.Int("users", 1000, "points: number of points")
+		dim     = flag.Int("dim", 8, "points: dimensions")
+		k       = flag.Int("k", 5, "points: cluster count")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %-6s %-10s %-12s %s\n", "NAME", "TABLE", "NODES", "EDGES(paper)", "KIND")
+		for _, d := range graph.Catalog(*scale) {
+			kind := "pagerank (unweighted)"
+			if d.Table == 1 {
+				kind = "sssp (weighted)"
+			}
+			fmt.Printf("%-12s %-6d %-10d %-12d %s\n", d.Name, d.Table, d.Nodes, d.PaperEdges, kind)
+		}
+		return
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	switch {
+	case *dataset != "":
+		d, err := graph.ByName(*dataset, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		g := d.Build()
+		if err := graph.Save(w, g); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "imrgen: %s at scale 1/%d: %d nodes, %d edges\n", d.Name, *scale, g.N, g.Edges())
+
+	case *kind == "sssp" || *kind == "pagerank":
+		cfg := graph.GenConfig{Nodes: *nodes, Seed: *seed}
+		if *kind == "sssp" {
+			cfg.Degree, cfg.Weighted, cfg.Weight = graph.SSSPDegree, true, graph.SSSPWeight
+		} else {
+			cfg.Degree = graph.PageRankDegree
+		}
+		g := graph.Generate(cfg)
+		if err := graph.Save(w, g); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "imrgen: %s graph: %d nodes, %d edges\n", *kind, g.N, g.Edges())
+
+	case *kind == "points":
+		points, cents := kmeans.Generate(kmeans.DataConfig{Users: *users, Dim: *dim, K: *k, Seed: *seed})
+		for _, p := range points {
+			writePoint(w, p.Key.(int64), p.Value.(kmeans.Point))
+		}
+		fmt.Fprintf(os.Stderr, "imrgen: %d points in %d dims around %d centers; initial centroids:\n", *users, *dim, *k)
+		for _, c := range cents {
+			var sb strings.Builder
+			writePoint(&sb, c.Key.(int64), c.Value.(kmeans.Point))
+			fmt.Fprint(os.Stderr, "  ", sb.String())
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writePoint(w interface{ WriteString(string) (int, error) }, id int64, p kmeans.Point) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d\t", id)
+	for i, v := range p {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%g", v)
+	}
+	sb.WriteByte('\n')
+	w.WriteString(sb.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imrgen:", err)
+	os.Exit(1)
+}

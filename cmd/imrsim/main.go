@@ -1,0 +1,102 @@
+// Command imrsim drives the EC2-scale cluster simulator directly:
+// sweep cluster sizes, iteration counts and cost-model parameters for
+// any catalog workload, printing per-iteration series, totals and
+// traffic for both engines.
+//
+// Usage:
+//
+//	imrsim -workload sssp-l                       # 20 instances, 10 iterations
+//	imrsim -workload pagerank-m -instances 20,50,80
+//	imrsim -workload sssp-s -iters 20 -sync       # the sync-map variant
+//	imrsim -workload sssp-m -factors              # Fig. 10 decomposition
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"imapreduce/internal/graph"
+	"imapreduce/internal/simcluster"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "sssp-l", "catalog dataset (sssp-s/m/l, pagerank-s/m/l, dblp, facebook, google, berkstan)")
+		instances = flag.String("instances", "20", "comma-separated cluster sizes")
+		iters     = flag.Int("iters", 10, "iterations")
+		sync      = flag.Bool("sync", false, "disable asynchronous map execution in the iMapReduce model")
+		factors   = flag.Bool("factors", false, "print the factor decomposition (one-time init / static shuffle / async)")
+		perIter   = flag.Bool("periter", false, "print per-iteration durations")
+	)
+	flag.Parse()
+
+	d, err := graph.ByName(*workload, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imrsim:", err)
+		os.Exit(2)
+	}
+	var w simcluster.Workload
+	if d.Table == 1 {
+		w = simcluster.SSSPWorkload(d)
+	} else {
+		w = simcluster.PageRankWorkload(d)
+	}
+	fmt.Printf("workload %s: %d nodes, %d edges, static %.1f MB\n\n",
+		w.Name, w.Nodes, w.Edges, float64(w.StaticBytes)/(1<<20))
+
+	sizes, err := parseInts(*instances)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imrsim:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-6s %-14s %-14s %-8s %-14s %-14s\n",
+		"n", "MapReduce(s)", "iMapReduce(s)", "ratio", "MR comm(GB)", "iMR comm(GB)")
+	for _, n := range sizes {
+		p := simcluster.DefaultParams(n)
+		mr := simcluster.SimulateMR(p, w, *iters)
+		imr := simcluster.SimulateIMR(p, w, *iters, simcluster.IMROptions{SyncMap: *sync})
+		ratio := fmt.Sprintf("%.1f%%", 100*imr.TotalSec/mr.TotalSec)
+		fmt.Printf("%-6d %-14.1f %-14.1f %-8s %-14.1f %-14.1f\n",
+			n, mr.TotalSec, imr.TotalSec, ratio,
+			mr.CommMB/1024, imr.CommMB/1024)
+		if *perIter {
+			fmt.Printf("       MR per-iter:  %s\n", fmtSeries(mr.IterSec))
+			fmt.Printf("       iMR per-iter: %s\n", fmtSeries(imr.IterSec))
+		}
+		if *factors {
+			base := imr.TotalSec
+			noInit := simcluster.SimulateIMR(p, w, *iters, simcluster.IMROptions{PerIterationInit: true, SyncMap: *sync}).TotalSec
+			noStatic := simcluster.SimulateIMR(p, w, *iters, simcluster.IMROptions{ShuffleStatic: true, SyncMap: *sync}).TotalSec
+			noAsync := simcluster.SimulateIMR(p, w, *iters, simcluster.IMROptions{SyncMap: true}).TotalSec
+			fmt.Printf("       factors (share of MR time saved): one-time init %.1f%%, static shuffle %.1f%%, async %.1f%%\n",
+				100*(noInit-base)/mr.TotalSec, 100*(noStatic-base)/mr.TotalSec, 100*(noAsync-base)/mr.TotalSec)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad instance count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fmtSeries(xs []float64) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.1f", x)
+	}
+	return b.String()
+}

@@ -1,0 +1,12 @@
+// Package imapreduce is a from-scratch Go implementation of iMapReduce
+// (Zhang, Gao, Gao, Wang — "iMapReduce: A Distributed Computing
+// Framework for Iterative Computation", IPDPS Workshops 2011 / J. Grid
+// Computing 2012), together with the Hadoop-like baseline engine and
+// the substrates the paper evaluates it on.
+//
+// Start with README.md for an overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record. The runnable entry points live under
+// examples/ and cmd/; the library packages live under internal/ with
+// internal/core implementing the paper's contribution.
+package imapreduce

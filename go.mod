@@ -1,0 +1,3 @@
+module imapreduce
+
+go 1.24

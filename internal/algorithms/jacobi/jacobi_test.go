@@ -1,0 +1,157 @@
+package jacobi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"imapreduce/internal/enginetest"
+)
+
+func TestSolveExact(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	s := &System{N: 2, A: []float64{2, 1, 1, 3}, B: []float64{5, 10}}
+	x, err := Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("solve: %v", x)
+	}
+	if r := Residual(s, x); r > 1e-12 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	s := &System{N: 2, A: []float64{1, 1, 1, 1}, B: []float64{1, 2}}
+	if _, err := Solve(s); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}
+
+func TestReferenceConverges(t *testing.T) {
+	s := RandomDiagDominant(40, 1)
+	want, err := Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Reference(s, 200)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("x[%d]: jacobi %v, direct %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIMRMatchesReference(t *testing.T) {
+	env, err := enginetest.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RandomDiagDominant(60, 2)
+	if err := WriteInputs(env.FS, env.At(), s, "/j/static", "/j/state"); err != nil {
+		t.Fatal(err)
+	}
+	const iters = 8
+	res, err := env.Core.Run(IMRJob(IMRConfig{
+		Name: "jacobi", StaticPath: "/j/static", StatePath: "/j/state", MaxIter: iters,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(s, iters)
+	out, err := env.ReadDir(res.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != s.N {
+		t.Fatalf("%d outputs", len(out))
+	}
+	for i := 0; i < s.N; i++ {
+		got := out[int64(i)].(float64)
+		if math.Abs(got-want[i]) > 1e-9 {
+			t.Fatalf("x[%d]: engine %v, reference %v", i, got, want[i])
+		}
+	}
+}
+
+func TestIMRConvergesToSolution(t *testing.T) {
+	env, err := enginetest.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RandomDiagDominant(40, 3)
+	if err := WriteInputs(env.FS, env.At(), s, "/j/static", "/j/state"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.Core.Run(IMRJob(IMRConfig{
+		Name: "jacobi-conv", StaticPath: "/j/static", StatePath: "/j/state",
+		MaxIter: 500, DistThreshold: 1e-11,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	want, err := Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := env.ReadDir(res.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, s.N)
+	for i := range x {
+		x[i] = out[int64(i)].(float64)
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d]: engine %v, direct %v", i, x[i], want[i])
+		}
+	}
+	if r := Residual(s, x); r > 1e-6 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+// TestPropertyConvergence: random diagonally dominant systems always
+// converge to the direct solution.
+func TestPropertyConvergence(t *testing.T) {
+	f := func(seed int64) bool {
+		s := RandomDiagDominant(20, seed%100)
+		want, err := Solve(s)
+		if err != nil {
+			return false
+		}
+		got := Reference(s, 300)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowBytes(t *testing.T) {
+	r := Row{B: 1, Diag: 2, Idx: []int32{1, 2}, Val: []float64{0.5, 0.5}}
+	if r.Bytes() != 16+24+4 {
+		t.Fatalf("Bytes = %d", r.Bytes())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	pairs := StatePairs(5)
+	for i := int64(0); i < 5; i++ {
+		if v, err := lookup(pairs, i); err != nil || v != 0 {
+			t.Fatalf("lookup(%d) = %v, %v", i, v, err)
+		}
+	}
+	if _, err := lookup(pairs, 99); err == nil {
+		t.Fatal("missing key accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package kmeans
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"imapreduce/internal/kv"
+)
+
+// The point text format, one line per point: "<id>\t<v1>,<v2>,...".
+// imrgen -kind points emits it; imrrun -algo kmeans consumes it.
+
+// SavePoints writes point records in text format.
+func SavePoints(w io.Writer, points []kv.Pair) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range points {
+		if _, err := fmt.Fprintf(bw, "%d\t", p.Key.(int64)); err != nil {
+			return err
+		}
+		for i, v := range p.Value.(Point) {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%g", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadPoints parses the text format. All points must share one
+// dimensionality.
+func LoadPoints(r io.Reader) ([]kv.Pair, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []kv.Pair
+	dim := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		head, rest, ok := strings.Cut(text, "\t")
+		if !ok {
+			return nil, fmt.Errorf("kmeans: line %d: missing tab separator", line)
+		}
+		id, err := strconv.ParseInt(strings.TrimSpace(head), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("kmeans: line %d: bad id %q", line, head)
+		}
+		fields := strings.Split(rest, ",")
+		if dim == -1 {
+			dim = len(fields)
+		} else if len(fields) != dim {
+			return nil, fmt.Errorf("kmeans: line %d: %d dims, want %d", line, len(fields), dim)
+		}
+		p := make(Point, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("kmeans: line %d: bad value %q", line, f)
+			}
+			p[i] = v
+		}
+		out = append(out, kv.Pair{Key: id, Value: p})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("kmeans: empty point file")
+	}
+	return out, nil
+}

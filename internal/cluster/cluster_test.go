@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUniform(t *testing.T) {
+	s := Uniform(4)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Nodes) != 4 || s.MapSlots != 2 || s.ReduceSlots != 2 {
+		t.Fatalf("bad spec: %+v", s)
+	}
+	ids := s.IDs()
+	if ids[0] != "worker-0" || ids[3] != "worker-3" {
+		t.Fatalf("ids: %v", ids)
+	}
+	for _, n := range s.Nodes {
+		if n.Speed != 1.0 {
+			t.Fatalf("speed: %f", n.Speed)
+		}
+	}
+}
+
+func TestHeterogeneous(t *testing.T) {
+	s := Heterogeneous([]float64{1, 0.5, 2})
+	if s.SpeedOf("worker-1") != 0.5 || s.SpeedOf("worker-2") != 2 {
+		t.Fatal("speeds not applied")
+	}
+	if s.SpeedOf("unknown") != 1.0 {
+		t.Fatal("unknown node should default to 1.0")
+	}
+}
+
+func TestStretchFor(t *testing.T) {
+	s := Heterogeneous([]float64{0.5})
+	if got := s.StretchFor("worker-0", time.Second); got != 2*time.Second {
+		t.Fatalf("stretch = %v", got)
+	}
+	if got := s.StretchFor("ghost", time.Second); got != time.Second {
+		t.Fatalf("unknown node stretch = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Spec{}).Validate(); err == nil {
+		t.Fatal("empty spec should fail")
+	}
+	s := Uniform(2)
+	s.Nodes[1].ID = s.Nodes[0].ID
+	if err := s.Validate(); err == nil {
+		t.Fatal("duplicate id should fail")
+	}
+	s = Uniform(2)
+	s.MapSlots = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("zero slots should fail")
+	}
+	s = Uniform(1)
+	s.Nodes[0].ID = ""
+	if err := s.Validate(); err == nil {
+		t.Fatal("empty id should fail")
+	}
+}
+
+func TestZeroSpeedTreatedAsNominal(t *testing.T) {
+	s := Spec{Nodes: []Node{{ID: "a", Speed: 0}}, MapSlots: 1, ReduceSlots: 1}
+	if s.SpeedOf("a") != 1.0 {
+		t.Fatal("zero speed should default to 1.0")
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"imapreduce/internal/cluster"
+	"imapreduce/internal/dfs"
+	"imapreduce/internal/kv"
+	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
+)
+
+// BenchmarkIterationLatency measures the per-iteration cost of the
+// persistent-task loop itself (tiny state, many iterations): the floor
+// that job-per-iteration scheduling would multiply.
+func BenchmarkIterationLatency(b *testing.B) {
+	spec := cluster.Uniform(2)
+	m := metrics.NewSet()
+	fs := dfs.New(dfs.Config{BlockSize: 1 << 16, Replication: 2}, spec.IDs(), m)
+	e, err := NewEngine(fs, transport.NewChanNetwork(), spec, m, Options{Timeout: 2 * time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]kv.Pair, 64)
+	for i := range recs {
+		recs[i] = kv.Pair{Key: int64(i), Value: 1.0}
+	}
+	if err := fs.WriteFile("/state", "worker-0", recs, f64Ops()); err != nil {
+		b.Fatal(err)
+	}
+	const iters = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := halvingJob("bench-latency", iters, 0)
+		res, err := e.Run(job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Iterations != iters {
+			b.Fatal("short run")
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*iters)*1e6, "µs/iteration")
+}
+
+// BenchmarkShuffleThroughput measures records/second through the full
+// map→shuffle→reduce→loop-back path with a fan-out workload.
+func BenchmarkShuffleThroughput(b *testing.B) {
+	spec := cluster.Uniform(4)
+	const n, iters = 20000, 3
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := metrics.NewSet()
+		fs := dfs.New(dfs.Config{BlockSize: 1 << 18, Replication: 2}, spec.IDs(), m)
+		e, err := NewEngine(fs, transport.NewChanNetwork(), spec, m, Options{Timeout: 2 * time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := &env{e: e, fs: fs, m: m, spec: spec}
+		job, _ := ringSetup(b, v, n)
+		job.MaxIter = iters
+		b.StartTimer()
+		if _, err := e.Run(job); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*n*iters*b.N)/b.Elapsed().Seconds(), "records/s")
+}

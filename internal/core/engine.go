@@ -1,0 +1,552 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"imapreduce/internal/cluster"
+	"imapreduce/internal/dfs"
+	"imapreduce/internal/kv"
+	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
+)
+
+// Options tunes the engine.
+type Options struct {
+	// LoadBalance enables per-iteration task-pair migration (§3.4.2).
+	LoadBalance bool
+	// LBThreshold is the relative deviation of the slowest worker from
+	// the trimmed average that triggers a migration. Default 0.25.
+	LBThreshold float64
+	// LBMinIter is the first iteration at which migration may happen
+	// (early iterations are noisy). Default 3.
+	LBMinIter int
+	// Timeout aborts a run whose master hears nothing for this long —
+	// a deadlock/livelock backstop. Default 2 minutes.
+	Timeout time.Duration
+}
+
+// Engine executes iMapReduce jobs over a DFS, a transport network and a
+// cluster spec.
+type Engine struct {
+	fs   *dfs.DFS
+	net  transport.Network
+	spec cluster.Spec
+	m    *metrics.Set
+	opts Options
+
+	mu           sync.Mutex
+	running      bool
+	activeMaster transport.Endpoint
+}
+
+// NewEngine creates an engine. m may be nil.
+func NewEngine(fs *dfs.DFS, net transport.Network, spec cluster.Spec, m *metrics.Set, opts Options) (*Engine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.LBThreshold <= 0 {
+		opts.LBThreshold = 0.25
+	}
+	if opts.LBMinIter <= 0 {
+		opts.LBMinIter = 3
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Minute
+	}
+	return &Engine{fs: fs, net: net, spec: spec, m: m, opts: opts}, nil
+}
+
+// FS returns the engine's file system.
+func (e *Engine) FS() *dfs.DFS { return e.fs }
+
+// Spec returns the engine's cluster spec.
+func (e *Engine) Spec() cluster.Spec { return e.spec }
+
+// stretch emulates a slow worker by padding a nominal compute duration.
+func (e *Engine) stretch(worker string, d time.Duration) {
+	if extra := e.spec.StretchFor(worker, d) - d; extra > 0 {
+		time.Sleep(extra)
+	}
+}
+
+// FailWorker injects a worker crash into the active run: the master
+// recovers by re-placing the worker's task pairs and rolling every task
+// back to the last durable checkpoint (§3.4.1).
+func (e *Engine) FailWorker(id string) error {
+	e.mu.Lock()
+	ep := e.activeMaster
+	e.mu.Unlock()
+	if ep == nil {
+		return fmt.Errorf("core: no active run")
+	}
+	return ep.Send(ep.Addr(), transport.Message{Kind: kindFail, Payload: failMsg{Worker: id}})
+}
+
+// IterInfo describes one completed iteration.
+type IterInfo struct {
+	Iter int
+	// Dist is the merged distance against the previous iteration (0
+	// when the job has no Distance function).
+	Dist float64
+	// CompletedAt is when the iteration's last reduce report arrived,
+	// measured from Run start.
+	CompletedAt time.Duration
+	// MaxTaskElapsed is the slowest task's processing time this
+	// iteration — the signal the load balancer works from.
+	MaxTaskElapsed time.Duration
+	// CumShuffleBytes and CumStateBytes are the engine's cumulative
+	// traffic counters sampled at this iteration boundary. With
+	// asynchronous maps the next iteration may already be in flight, so
+	// per-iteration deltas are approximate.
+	CumShuffleBytes int64
+	CumStateBytes   int64
+}
+
+// Result reports a completed run.
+type Result struct {
+	Iterations    int
+	Converged     bool // stopped by DistThreshold or the auxiliary decision
+	InitTime      time.Duration
+	PerIter       []IterInfo
+	TotalWall     time.Duration
+	OutputPath    string
+	OutputRecords int
+	Migrations    int
+	Recoveries    int
+}
+
+// runState is the shared routing table for one run. Task goroutines
+// consult worker bindings through it; the master updates them on
+// migration and recovery.
+type runState struct {
+	name       string
+	mainPhases int
+	mainTasks  int
+	auxTasks   int
+	outputPath string
+
+	mu         sync.RWMutex
+	pairWorker []string // main task pairs
+	auxWorker  []string
+}
+
+func (r *runState) ckptPath(iter, part int) string {
+	return fmt.Sprintf("/_imr/%s/ckpt-%06d/part-%d", r.name, iter, part)
+}
+
+func (r *runState) staticPartPath(phase, part int) string {
+	return fmt.Sprintf("/_imr/%s/static-%d/part-%d", r.name, phase, part)
+}
+
+// workerOfPhasePair returns the worker currently hosting pair idx of the
+// given global phase (auxiliary phases index their own table).
+func (r *runState) workerOfPhasePair(phase, idx int) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if phase >= r.mainPhases {
+		return r.auxWorker[idx]
+	}
+	return r.pairWorker[idx]
+}
+
+func (r *runState) setPairWorker(idx int, w string, aux bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if aux {
+		r.auxWorker[idx] = w
+	} else {
+		r.pairWorker[idx] = w
+	}
+}
+
+// Run executes job to termination. One run at a time per engine:
+// concurrent calls return an error rather than sharing endpoints.
+func (e *Engine) Run(job *Job) (*Result, error) {
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: engine already has an active run")
+	}
+	e.running = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.running = false
+		e.mu.Unlock()
+	}()
+	start := time.Now()
+	phases := job.Phases()
+	aux := job.auxiliary
+	for i, p := range phases {
+		if err := p.validate(i, false); err != nil {
+			return nil, err
+		}
+		if i > 0 && p.auxiliary != nil {
+			return nil, fmt.Errorf("core: job %s: auxiliary phases attach to the first job only", p.Name)
+		}
+	}
+	if aux != nil {
+		if err := aux.validate(0, true); err != nil {
+			return nil, err
+		}
+		if job.AuxDecide == nil {
+			return nil, fmt.Errorf("core: job %s has an auxiliary phase but no AuxDecide", job.Name)
+		}
+	}
+	last := phases[len(phases)-1]
+	if last.MaxIter <= 0 && (last.DistThreshold <= 0 || last.Distance == nil) && aux == nil {
+		return nil, fmt.Errorf("core: job %s has no termination condition", job.Name)
+	}
+	if last.Mapping == OneToAll && len(phases) > 1 {
+		return nil, fmt.Errorf("core: job %s: OneToAll loop-back with multiple phases is unsupported", job.Name)
+	}
+
+	workers := e.spec.IDs()
+	n := job.NumTasks
+	if n <= 0 {
+		n = len(workers)
+	}
+	auxN := 0
+	if aux != nil {
+		auxN = aux.NumTasks
+		if auxN <= 0 {
+			auxN = n
+		}
+		if aux.Mapping == OneToOne && auxN != n {
+			return nil, fmt.Errorf("core: auxiliary phase with OneToOne mapping needs NumTasks == main (%d != %d)", auxN, n)
+		}
+		if aux.Mapping == OneToAll && aux.StaticPath == "" {
+			return nil, fmt.Errorf("core: auxiliary OneToAll phase needs StaticPath")
+		}
+	}
+	if job.Mapping == OneToAll && job.StaticPath == "" {
+		return nil, fmt.Errorf("core: OneToAll job needs StaticPath")
+	}
+
+	// Persistent tasks need enough slots to all start at once (§3.1.1).
+	perWorkerMain := (n + len(workers) - 1) / len(workers) * len(phases)
+	perWorkerAux := 0
+	if aux != nil {
+		perWorkerAux = (auxN + len(workers) - 1) / len(workers)
+	}
+	if need := perWorkerMain + perWorkerAux; need > e.spec.MapSlots || need > e.spec.ReduceSlots {
+		return nil, fmt.Errorf("core: job %s needs %d persistent task slots per worker, cluster provides %d map / %d reduce; lower NumTasks or raise slots",
+			job.Name, need, e.spec.MapSlots, e.spec.ReduceSlots)
+	}
+
+	run := &runState{
+		name:       job.Name,
+		mainPhases: len(phases),
+		mainTasks:  n,
+		auxTasks:   auxN,
+		outputPath: job.OutputPath,
+		pairWorker: make([]string, n),
+		auxWorker:  make([]string, auxN),
+	}
+	if run.outputPath == "" {
+		run.outputPath = "/_imr/" + job.Name + "/output"
+	}
+	for i := 0; i < n; i++ {
+		run.pairWorker[i] = workers[i%len(workers)]
+	}
+	for i := 0; i < auxN; i++ {
+		run.auxWorker[i] = workers[i%len(workers)]
+	}
+
+	e.m.Add(metrics.JobsLaunched, 1)
+
+	// The one job submission and the one round of persistent-task
+	// launches pay the scheduling overheads exactly once (§3.1.1).
+	time.Sleep(e.spec.JobInitOverhead + e.spec.TaskStartOverhead)
+
+	// One-time initialization (§3.1): partition the static data of every
+	// phase and the initial state once, placing each part at its pair's
+	// worker so subsequent loads are local. The initial state doubles as
+	// checkpoint 0, the rollback base.
+	for pi, p := range phases {
+		if p.StaticPath == "" {
+			continue
+		}
+		if err := e.partitionToDFS(p.StaticPath, p.Ops, n, run, func(i int) string { return run.staticPartPath(pi, i) }, false); err != nil {
+			return nil, fmt.Errorf("core: job %s: static init: %w", job.Name, err)
+		}
+	}
+	if aux != nil && aux.StaticPath != "" {
+		auxPhase := len(phases)
+		if err := e.partitionToDFS(aux.StaticPath, aux.Ops, auxN, run, func(i int) string { return run.staticPartPath(auxPhase, i) }, true); err != nil {
+			return nil, fmt.Errorf("core: job %s: aux static init: %w", job.Name, err)
+		}
+	}
+	if err := e.partitionToDFS(job.StatePath, last.Ops, n, run, func(i int) string { return run.ckptPath(0, i) }, false); err != nil {
+		return nil, fmt.Errorf("core: job %s: state init: %w", job.Name, err)
+	}
+
+	// Build and start the persistent tasks.
+	master, tasks, err := e.spawnTasks(job, phases, aux, run, n, auxN)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, addr := range tasks.all {
+			if ep, err := e.net.Endpoint(addr); err == nil {
+				ep.Close()
+			}
+		}
+		master.Close()
+		e.mu.Lock()
+		e.activeMaster = nil
+		e.mu.Unlock()
+	}()
+	e.mu.Lock()
+	e.activeMaster = master
+	e.mu.Unlock()
+
+	initTime := time.Since(start)
+	res, err := e.masterLoop(job, phases, aux, run, n, auxN, master, tasks, start)
+	if err != nil {
+		return nil, err
+	}
+	res.InitTime = initTime
+	res.TotalWall = time.Since(start)
+	res.OutputPath = run.outputPath
+	return res, nil
+}
+
+// partitionToDFS reads a DFS input file, partitions its records with ops
+// into parts, and writes each part at the worker hosting that pair —
+// reads happen at a replica holder (local), writes pin the first replica
+// at the consuming worker.
+func (e *Engine) partitionToDFS(path string, ops kv.Ops, parts int, run *runState, partPath func(int) string, aux bool) error {
+	splits, err := e.fs.Splits(path)
+	if err != nil {
+		return err
+	}
+	out := make([][]kv.Pair, parts)
+	for _, s := range splits {
+		at := ""
+		if len(s.Locations) > 0 {
+			at = s.Locations[0]
+		}
+		recs, err := e.fs.ReadSplit(s, at)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			p := ops.Partition(r.Key, parts)
+			out[p] = append(out[p], r)
+		}
+	}
+	for i, recs := range out {
+		w := run.pairWorker[i]
+		if aux {
+			w = run.auxWorker[i]
+		}
+		if err := e.fs.WriteFile(partPath(i), w, recs, ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// taskSet records every spawned endpoint for command fan-out and
+// cleanup.
+type taskSet struct {
+	all []string // every task endpoint address
+	// phase0Maps are the self-loading maps that receive the go command.
+	phase0Maps []string
+	// termReds are the termination-phase reduces (proceed commands and
+	// final output).
+	termReds []string
+	// byPair[idx] lists the main-chain task addresses of pair idx
+	// (across phases), for reassignment.
+	byPair [][]string
+	// auxByPair[idx] lists the auxiliary pair's addresses.
+	auxByPair [][]string
+}
+
+// spawnTasks creates the master endpoint and all persistent map/reduce
+// task goroutines with their routing wired up.
+func (e *Engine) spawnTasks(job *Job, phases []*Job, aux *Job, run *runState, n, auxN int) (transport.Endpoint, *taskSet, error) {
+	master, err := e.net.Endpoint(masterAddr(job.Name))
+	if err != nil {
+		return nil, nil, err
+	}
+	ts := &taskSet{byPair: make([][]string, n), auxByPair: make([][]string, auxN)}
+	numMain := len(phases)
+	last := numMain - 1
+	auxPhase := numMain
+
+	mkEndpoint := func(addr string) (transport.Endpoint, error) {
+		ep, err := e.net.Endpoint(addr)
+		if err != nil {
+			return nil, err
+		}
+		ts.all = append(ts.all, addr)
+		return ep, nil
+	}
+
+	for pi, p := range phases {
+		bufThresh := p.BufferThreshold
+		if bufThresh <= 0 {
+			bufThresh = DefaultBufferThreshold
+		}
+		redAddrs := make([]string, n)
+		for i := range redAddrs {
+			redAddrs[i] = redAddr(job.Name, pi, i)
+		}
+		for i := 0; i < n; i++ {
+			// Map task of phase pi, pair i.
+			mep, err := mkEndpoint(mapAddr(job.Name, pi, i))
+			if err != nil {
+				return nil, nil, err
+			}
+			feeders := 1
+			broadcast := false
+			if pi == 0 && p.Mapping == OneToAll {
+				feeders, broadcast = n, true
+			}
+			mt := &mapTask{
+				e: e, run: run, jobName: job.Name, job: p,
+				phase: pi, idx: i,
+				selfLoads: pi == 0,
+				broadcast: broadcast,
+				stream:    !p.SyncMap && !broadcast,
+				feeders:   feeders,
+				worker:    run.pairWorker[i],
+				ep:        mep,
+				redAddrs:  redAddrs,
+				numReduce: n,
+				bufThresh: bufThresh,
+				outBuf:    make([][]kv.Pair, n),
+				pend:      make(map[int]*mapAccum),
+			}
+			if err := mt.loadStatic(); err != nil {
+				return nil, nil, err
+			}
+			ts.byPair[i] = append(ts.byPair[i], mep.Addr())
+
+			// Reduce task of phase pi, pair i.
+			rep, err := mkEndpoint(redAddr(job.Name, pi, i))
+			if err != nil {
+				return nil, nil, err
+			}
+			lastJob := phases[last]
+			gated := pi == last &&
+				((lastJob.DistThreshold > 0 && lastJob.Distance != nil) || aux != nil)
+			rt := &reduceTask{
+				e: e, run: run, jobName: job.Name, job: p,
+				phase: pi, idx: i,
+				isTermination: pi == last,
+				gated:         gated,
+				worker:        run.pairWorker[i],
+				ep:            rep,
+				numMaps:       n,
+				bufThresh:     bufThresh,
+				pend:          make(map[int]*redAccum),
+				prev:          make(map[any]any),
+				held:          make(map[int][]kv.Pair),
+			}
+			if pi == last {
+				ts.termReds = append(ts.termReds, rep.Addr())
+			}
+			// Route the new state: phase pi feeds phase pi+1's maps
+			// within the iteration; the last phase loops back to phase
+			// 0's maps for the next iteration.
+			nextPhase := pi + 1
+			rt.targetIterDelta = 0
+			if pi == last {
+				nextPhase = 0
+				rt.targetIterDelta = 1
+			}
+			nextJob := phases[nextPhase]
+			if nextPhase == 0 && nextJob.Mapping == OneToAll {
+				rt.targetAddrs = make([]string, n)
+				for j := range rt.targetAddrs {
+					rt.targetAddrs[j] = mapAddr(job.Name, nextPhase, j)
+				}
+			} else {
+				rt.targetAddrs = []string{mapAddr(job.Name, nextPhase, i)}
+			}
+			rt.targetPhase = nextPhase
+			if pi == last && aux != nil {
+				rt.auxPhase = auxPhase
+				if aux.Mapping == OneToAll {
+					rt.auxAddrs = make([]string, auxN)
+					for j := range rt.auxAddrs {
+						rt.auxAddrs[j] = mapAddr(job.Name, auxPhase, j)
+					}
+				} else {
+					rt.auxAddrs = []string{mapAddr(job.Name, auxPhase, i)}
+				}
+			}
+			ts.byPair[i] = append(ts.byPair[i], rep.Addr())
+			if pi == 0 {
+				ts.phase0Maps = append(ts.phase0Maps, mep.Addr())
+			}
+			e.m.Add(metrics.TasksLaunched, 2)
+			go mt.loop()
+			go rt.loop()
+		}
+	}
+
+	if aux != nil {
+		bufThresh := aux.BufferThreshold
+		if bufThresh <= 0 {
+			bufThresh = DefaultBufferThreshold
+		}
+		redAddrs := make([]string, auxN)
+		for i := range redAddrs {
+			redAddrs[i] = redAddr(job.Name, auxPhase, i)
+		}
+		for i := 0; i < auxN; i++ {
+			mep, err := mkEndpoint(mapAddr(job.Name, auxPhase, i))
+			if err != nil {
+				return nil, nil, err
+			}
+			feeders := 1
+			broadcast := false
+			if aux.Mapping == OneToAll {
+				feeders, broadcast = n, true // fed by all main termination reduces
+			}
+			mt := &mapTask{
+				e: e, run: run, jobName: job.Name, job: aux,
+				phase: auxPhase, idx: i, isAux: true,
+				broadcast: broadcast,
+				stream:    !aux.SyncMap && !broadcast,
+				feeders:   feeders,
+				worker:    run.auxWorker[i],
+				ep:        mep,
+				redAddrs:  redAddrs,
+				numReduce: auxN,
+				bufThresh: bufThresh,
+				outBuf:    make([][]kv.Pair, auxN),
+				pend:      make(map[int]*mapAccum),
+			}
+			if err := mt.loadStatic(); err != nil {
+				return nil, nil, err
+			}
+			rep, err := mkEndpoint(redAddr(job.Name, auxPhase, i))
+			if err != nil {
+				return nil, nil, err
+			}
+			rt := &reduceTask{
+				e: e, run: run, jobName: job.Name, job: aux,
+				phase: auxPhase, idx: i, isAux: true,
+				toMaster:  true,
+				worker:    run.auxWorker[i],
+				ep:        rep,
+				numMaps:   auxN,
+				bufThresh: bufThresh,
+				pend:      make(map[int]*redAccum),
+				prev:      make(map[any]any),
+			}
+			ts.auxByPair[i] = append(ts.auxByPair[i], mep.Addr(), rep.Addr())
+			e.m.Add(metrics.TasksLaunched, 2)
+			go mt.loop()
+			go rt.loop()
+		}
+	}
+	return master, ts, nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"imapreduce/internal/kv"
+)
+
+// JobConf is the paper's string-keyed configuration interface (§3.5):
+// jobs are assembled with job.set("mapred.iterjob.statepath", path),
+// job.setInt("mapred.iterjob.maxiter", n), and so on, mirroring the
+// Hadoop-based prototype's API. Build() returns the equivalent Job.
+//
+// Supported keys:
+//
+//	mapred.iterjob.statepath   string  initial state path (required)
+//	mapred.iterjob.staticpath  string  static data path
+//	mapred.iterjob.outputpath  string  final output path
+//	mapred.iterjob.maxiter     int     iteration bound
+//	mapred.iterjob.disthresh   float   distance threshold
+//	mapred.iterjob.mapping     string  "one2one" (default) or "one2all"
+//	mapred.iterjob.sync        bool    synchronous map execution
+//	mapred.iterjob.numtasks    int     persistent task pairs
+//	mapred.iterjob.buffer      int     reduce→map buffer threshold
+//	mapred.iterjob.checkpoint  int     checkpoint interval
+type JobConf struct {
+	job  *Job
+	errs []error
+}
+
+// Configuration keys, named as in the paper.
+const (
+	ConfStatePath  = "mapred.iterjob.statepath"
+	ConfStaticPath = "mapred.iterjob.staticpath"
+	ConfOutputPath = "mapred.iterjob.outputpath"
+	ConfMaxIter    = "mapred.iterjob.maxiter"
+	ConfDistThresh = "mapred.iterjob.disthresh"
+	ConfMapping    = "mapred.iterjob.mapping"
+	ConfSync       = "mapred.iterjob.sync"
+	ConfNumTasks   = "mapred.iterjob.numtasks"
+	ConfBuffer     = "mapred.iterjob.buffer"
+	ConfCheckpoint = "mapred.iterjob.checkpoint"
+)
+
+// NewJobConf starts a configuration for a named job.
+func NewJobConf(name string) *JobConf {
+	return &JobConf{job: &Job{Name: name}}
+}
+
+func (c *JobConf) fail(format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf(format, args...))
+}
+
+// Set assigns a string-valued key. Integer, float and boolean keys
+// accept their string forms, as Hadoop configurations do.
+func (c *JobConf) Set(key, value string) *JobConf {
+	switch key {
+	case ConfStatePath:
+		c.job.StatePath = value
+	case ConfStaticPath:
+		c.job.StaticPath = value
+	case ConfOutputPath:
+		c.job.OutputPath = value
+	case ConfMapping:
+		switch value {
+		case "one2one":
+			c.job.Mapping = OneToOne
+		case "one2all":
+			c.job.Mapping = OneToAll
+		default:
+			c.fail("core: %s must be one2one or one2all, got %q", ConfMapping, value)
+		}
+	case ConfMaxIter, ConfNumTasks, ConfBuffer, ConfCheckpoint:
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			c.fail("core: %s: %v", key, err)
+			return c
+		}
+		c.SetInt(key, n)
+	case ConfDistThresh:
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			c.fail("core: %s: %v", key, err)
+			return c
+		}
+		c.SetFloat(key, f)
+	case ConfSync:
+		b, err := strconv.ParseBool(value)
+		if err != nil {
+			c.fail("core: %s: %v", key, err)
+			return c
+		}
+		c.SetBool(key, b)
+	default:
+		c.fail("core: unknown configuration key %q", key)
+	}
+	return c
+}
+
+// SetInt assigns an integer-valued key
+// (job.setInt("mapred.iterjob.maxiter", n) in the paper).
+func (c *JobConf) SetInt(key string, v int) *JobConf {
+	switch key {
+	case ConfMaxIter:
+		c.job.MaxIter = v
+	case ConfNumTasks:
+		c.job.NumTasks = v
+	case ConfBuffer:
+		c.job.BufferThreshold = v
+	case ConfCheckpoint:
+		c.job.CheckpointEvery = v
+	default:
+		c.fail("core: %q is not an integer key", key)
+	}
+	return c
+}
+
+// SetFloat assigns a float-valued key
+// (job.setFloat("mapred.iterjob.disthresh", eps)).
+func (c *JobConf) SetFloat(key string, v float64) *JobConf {
+	switch key {
+	case ConfDistThresh:
+		c.job.DistThreshold = v
+	default:
+		c.fail("core: %q is not a float key", key)
+	}
+	return c
+}
+
+// SetBool assigns a boolean key
+// (job.setBoolean("mapred.iterjob.sync", true)).
+func (c *JobConf) SetBool(key string, v bool) *JobConf {
+	switch key {
+	case ConfSync:
+		c.job.SyncMap = v
+	default:
+		c.fail("core: %q is not a boolean key", key)
+	}
+	return c
+}
+
+// SetMap, SetReduce, SetCombine and SetDistance attach the user
+// functions (the paper's map/reduce/distance interfaces).
+func (c *JobConf) SetMap(fn MapFunc) *JobConf { c.job.Map = fn; return c }
+
+// SetReduce attaches the reduce function.
+func (c *JobConf) SetReduce(fn ReduceFunc) *JobConf { c.job.Reduce = fn; return c }
+
+// SetCombine attaches the optional map-side combiner.
+func (c *JobConf) SetCombine(fn func(key any, values []any) (any, error)) *JobConf {
+	c.job.Combine = fn
+	return c
+}
+
+// SetDistance attaches the distance measurement.
+func (c *JobConf) SetDistance(fn DistFunc) *JobConf { c.job.Distance = fn; return c }
+
+// SetOps attaches the key/value operations bundle.
+func (c *JobConf) SetOps(ops kv.Ops) *JobConf { c.job.Ops = ops; return c }
+
+// AddSuccessor chains another configured phase
+// (job1.addSuccessor(job2), §5.2.2).
+func (c *JobConf) AddSuccessor(next *JobConf) *JobConf {
+	c.job.AddSuccessor(next.job)
+	c.errs = append(c.errs, next.errs...)
+	return c
+}
+
+// AddAuxiliary attaches an auxiliary phase with its master-side
+// decision (job1.addAuxiliary(job2), §5.3.2).
+func (c *JobConf) AddAuxiliary(aux *JobConf, decide func(iter int, outputs []kv.Pair) bool) *JobConf {
+	c.job.AddAuxiliary(aux.job)
+	c.job.AuxDecide = decide
+	c.errs = append(c.errs, aux.errs...)
+	return c
+}
+
+// Build returns the configured Job, or the first configuration error.
+func (c *JobConf) Build() (*Job, error) {
+	if len(c.errs) > 0 {
+		return nil, c.errs[0]
+	}
+	return c.job, nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"imapreduce/internal/kv"
+)
+
+func TestJobConfBuild(t *testing.T) {
+	conf := NewJobConf("pr").
+		Set(ConfStatePath, "/state").
+		Set(ConfStaticPath, "/static").
+		Set(ConfOutputPath, "/out").
+		SetInt(ConfMaxIter, 7).
+		SetFloat(ConfDistThresh, 0.01).
+		SetBool(ConfSync, true).
+		SetInt(ConfNumTasks, 3).
+		SetInt(ConfBuffer, 128).
+		SetInt(ConfCheckpoint, 2).
+		SetMap(func(key, state, static any, emit kv.Emit) error { return nil }).
+		SetReduce(func(key any, states []any) (any, error) { return nil, nil }).
+		SetDistance(func(key, prev, curr any) float64 { return 0 }).
+		SetOps(kv.OpsFor[int64, float64](nil))
+	job, err := conf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Name != "pr" || job.StatePath != "/state" || job.StaticPath != "/static" ||
+		job.OutputPath != "/out" || job.MaxIter != 7 || job.DistThreshold != 0.01 ||
+		!job.SyncMap || job.NumTasks != 3 || job.BufferThreshold != 128 || job.CheckpointEvery != 2 {
+		t.Fatalf("job misconfigured: %+v", job)
+	}
+}
+
+func TestJobConfStringForms(t *testing.T) {
+	conf := NewJobConf("x").
+		Set(ConfMaxIter, "9").
+		Set(ConfDistThresh, "0.5").
+		Set(ConfSync, "true").
+		Set(ConfMapping, "one2all")
+	job, err := conf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.MaxIter != 9 || job.DistThreshold != 0.5 || !job.SyncMap || job.Mapping != OneToAll {
+		t.Fatalf("string forms misparsed: %+v", job)
+	}
+}
+
+func TestJobConfErrors(t *testing.T) {
+	cases := []*JobConf{
+		NewJobConf("a").Set("bogus.key", "v"),
+		NewJobConf("b").Set(ConfMaxIter, "notanumber"),
+		NewJobConf("c").Set(ConfDistThresh, "x"),
+		NewJobConf("d").Set(ConfSync, "maybe"),
+		NewJobConf("e").Set(ConfMapping, "one2many"),
+		NewJobConf("f").SetInt(ConfDistThresh, 1),
+		NewJobConf("g").SetFloat(ConfMaxIter, 1),
+		NewJobConf("h").SetBool(ConfMaxIter, true),
+	}
+	for i, c := range cases {
+		if _, err := c.Build(); err == nil {
+			t.Errorf("case %d: bad configuration accepted", i)
+		}
+	}
+}
+
+func TestJobConfChaining(t *testing.T) {
+	p2 := NewJobConf("p2").
+		SetMap(func(key, state, static any, emit kv.Emit) error { return nil }).
+		SetReduce(func(key any, states []any) (any, error) { return nil, nil }).
+		SetInt(ConfMaxIter, 3).
+		SetOps(kv.OpsFor[int64, float64](nil))
+	p1 := NewJobConf("p1").
+		Set(ConfStatePath, "/state").
+		SetMap(func(key, state, static any, emit kv.Emit) error { return nil }).
+		SetReduce(func(key any, states []any) (any, error) { return nil, nil }).
+		SetOps(kv.OpsFor[int64, float64](nil)).
+		AddSuccessor(p2)
+	job, err := p1.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Phases()) != 2 || job.Phases()[1].Name != "p2" {
+		t.Fatalf("successor lost: %v", job.Phases())
+	}
+	// Errors in a successor surface at the root.
+	bad := NewJobConf("bad").Set("nope", "x")
+	root := NewJobConf("root").AddSuccessor(bad)
+	if _, err := root.Build(); err == nil {
+		t.Fatal("successor error swallowed")
+	}
+}
+
+func TestJobConfCombineAndAuxiliary(t *testing.T) {
+	aux := NewJobConf("watch").
+		SetMap(func(key, state, static any, emit kv.Emit) error { return nil }).
+		SetReduce(func(key any, states []any) (any, error) { return nil, nil }).
+		SetOps(kv.OpsFor[int64, float64](nil))
+	conf := NewJobConf("main").
+		Set(ConfStatePath, "/s").
+		SetMap(func(key, state, static any, emit kv.Emit) error { return nil }).
+		SetReduce(func(key any, states []any) (any, error) { return nil, nil }).
+		SetCombine(func(key any, values []any) (any, error) { return values[0], nil }).
+		SetOps(kv.OpsFor[int64, float64](nil)).
+		AddAuxiliary(aux, func(iter int, outputs []kv.Pair) bool { return true })
+	job, err := conf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Combine == nil || job.auxiliary == nil || job.AuxDecide == nil {
+		t.Fatal("combine/auxiliary not attached")
+	}
+	// Aux configuration errors surface at the root.
+	badAux := NewJobConf("bad").Set("nope", "x")
+	root := NewJobConf("root").AddAuxiliary(badAux, nil)
+	if _, err := root.Build(); err == nil {
+		t.Fatal("auxiliary error swallowed")
+	}
+}
+
+// TestJobConfEndToEnd runs a JobConf-assembled job on the engine, the
+// way the paper's Fig. 3 example is written.
+func TestJobConfEndToEnd(t *testing.T) {
+	v := newEnv(t, 2, Options{})
+	v.writeState(t, "/state", 10)
+	conf := NewJobConf("conf-halve").
+		Set(ConfStatePath, "/state").
+		SetInt(ConfMaxIter, 4).
+		SetMap(func(key, state, static any, emit kv.Emit) error {
+			emit(key, state)
+			return nil
+		}).
+		SetReduce(func(key any, states []any) (any, error) {
+			return states[0].(float64) / 2, nil
+		}).
+		SetOps(f64Ops())
+	job, err := conf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := v.readOutput(t, res.OutputPath)
+	for k, val := range out {
+		if math.Abs(val.(float64)-1.0/16) > 1e-12 {
+			t.Fatalf("key %d = %v", k, val)
+		}
+	}
+}

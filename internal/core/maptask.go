@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"imapreduce/internal/kv"
+	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
+)
+
+// mapTask is one persistent map task (§3.1.1). It lives for the whole
+// run as a single goroutine draining its endpoint: state chunks from its
+// feeding reduce task(s), and control commands from the master. All
+// fields are owned by that goroutine.
+type mapTask struct {
+	e       *Engine
+	run     *runState
+	jobName string
+	job     *Job
+	phase   int // global phase index (for error reports)
+	idx     int
+	isAux   bool
+	// selfLoads marks the main chain's first phase: its input for
+	// iteration c+1 after a (rollback to c) comes from the checkpoint
+	// files in DFS rather than from a feeding reduce.
+	selfLoads bool
+	// broadcast marks OneToAll input: state chunks arrive from every
+	// reduce task and Map runs once per static record with the full
+	// state list (§5.1.2).
+	broadcast bool
+	// stream marks asynchronous execution (§3.3): chunks of the current
+	// iteration are joined and mapped the moment they arrive.
+	stream  bool
+	feeders int // reduce tasks feeding this map per iteration
+
+	worker string
+	gen    int
+	iter   int // iteration currently awaiting/accumulating input
+
+	ep          transport.Endpoint
+	redAddrs    []string
+	numReduce   int
+	bufThresh   int
+	outBuf      [][]kv.Pair
+	staticIdx   map[any]any
+	staticPairs []kv.Pair
+	pend        map[int]*mapAccum
+}
+
+type mapAccum struct {
+	pairs []kv.Pair
+	ends  int
+}
+
+// loop is the task body; it returns when the master terminates the run.
+func (t *mapTask) loop() {
+	for msg := range t.ep.Recv() {
+		switch pl := msg.Payload.(type) {
+		case stateChunk:
+			t.handleState(pl)
+		case cmdMsg:
+			switch pl.Kind {
+			case cmdTerminate:
+				return
+			case cmdReassign:
+				t.worker = pl.Worker
+				// A relaunched map task loads its static data block from
+				// its DFS replica (§3.4.2), now typically a remote read.
+				if err := t.loadStatic(); err != nil {
+					t.fatal(err)
+					return
+				}
+			case cmdRollback:
+				t.rollback(pl)
+			case cmdGo:
+				t.selfLoad(pl.ToIter)
+			}
+		}
+	}
+}
+
+func (t *mapTask) fatal(err error) {
+	t.send(masterAddr(t.jobName), kindFail, taskErrMsg{Phase: t.phase, Task: t.idx, Err: err.Error()}, 0)
+}
+
+func (t *mapTask) send(to, kind string, payload any, size int64) {
+	// Send errors during shutdown are expected (peers already gone).
+	_ = t.ep.Send(to, transport.Message{Kind: kind, Payload: payload, Size: size})
+}
+
+// loadStatic reads this task's static partition from the DFS.
+func (t *mapTask) loadStatic() error {
+	t.staticIdx = nil
+	t.staticPairs = nil
+	if t.job.StaticPath == "" {
+		return nil
+	}
+	pairs, err := t.e.fs.ReadFile(t.run.staticPartPath(t.phase, t.idx), t.worker)
+	if err != nil {
+		return fmt.Errorf("map %d/%d: load static: %w", t.phase, t.idx, err)
+	}
+	t.staticPairs = pairs
+	t.staticIdx = make(map[any]any, len(pairs))
+	for _, p := range pairs {
+		t.staticIdx[p.Key] = p.Value
+	}
+	return nil
+}
+
+// rollback resets the task to restart from checkpoint iteration
+// cmd.ToIter (§3.4.1): buffered state is discarded and in-flight traffic
+// of the old generation will be dropped by the Gen check. The task acks
+// so the master knows when the whole cluster is quiesced.
+func (t *mapTask) rollback(cmd cmdMsg) {
+	t.gen = cmd.Gen
+	t.iter = cmd.ToIter + 1
+	t.pend = make(map[int]*mapAccum)
+	t.outBuf = make([][]kv.Pair, t.numReduce)
+	t.send(masterAddr(t.jobName), kindCmd, rbAckMsg{Gen: t.gen, Phase: t.phase, Task: t.idx}, 0)
+}
+
+// selfLoad starts iteration toIter+1 on a first-phase map by reading the
+// checkpointed state from DFS — the initial state at startup, or the
+// last durable checkpoint after a failure or migration.
+func (t *mapTask) selfLoad(toIter int) {
+	if !t.selfLoads {
+		return
+	}
+	parts := []int{t.idx}
+	if t.broadcast {
+		// Broadcast input: the whole state set, i.e. every checkpoint
+		// part.
+		parts = make([]int, t.run.mainTasks)
+		for i := range parts {
+			parts[i] = i
+		}
+	}
+	var pairs []kv.Pair
+	for _, p := range parts {
+		recs, err := t.e.fs.ReadFile(t.run.ckptPath(toIter, p), t.worker)
+		if err != nil {
+			t.fatal(fmt.Errorf("map %d/%d: load checkpoint %d: %w", t.phase, t.idx, toIter, err))
+			return
+		}
+		pairs = append(pairs, recs...)
+	}
+	t.handleState(stateChunk{Gen: t.gen, Iter: t.iter, From: -1, Pairs: pairs, End: true})
+	if t.broadcast {
+		// The self-load stands in for all feeders at once.
+		if a := t.pend[t.iter]; a != nil {
+			a.ends = t.feeders
+			t.tryComplete()
+		}
+	}
+}
+
+// handleState ingests one chunk of iterated state.
+func (t *mapTask) handleState(c stateChunk) {
+	if c.Gen != t.gen || c.Iter < t.iter {
+		return // stale: pre-rollback traffic
+	}
+	a := t.pend[c.Iter]
+	if a == nil {
+		a = &mapAccum{}
+		t.pend[c.Iter] = a
+	}
+	if len(c.Pairs) > 0 {
+		if t.stream && c.Iter == t.iter {
+			// Asynchronous execution: join + map immediately (§3.3).
+			t.process(c.Iter, c.Pairs)
+		} else {
+			a.pairs = append(a.pairs, c.Pairs...)
+		}
+	}
+	if c.End {
+		a.ends++
+	}
+	t.tryComplete()
+}
+
+// tryComplete finishes every iteration whose input is fully here.
+func (t *mapTask) tryComplete() {
+	for {
+		a := t.pend[t.iter]
+		if a == nil || a.ends < t.feeders {
+			return
+		}
+		if t.broadcast {
+			t.processBroadcast(t.iter, a.pairs)
+		} else if len(a.pairs) > 0 {
+			t.process(t.iter, a.pairs)
+		}
+		t.flushEnds(t.iter)
+		delete(t.pend, t.iter)
+		t.iter++
+	}
+}
+
+// process joins state records with this task's static records and runs
+// the user map, partitioning emitted pairs toward the phase's reduces.
+func (t *mapTask) process(iter int, pairs []kv.Pair) {
+	start := time.Now()
+	em := t.emitFn(iter)
+	for _, p := range pairs {
+		var static any
+		if t.staticIdx != nil {
+			static = t.staticIdx[p.Key]
+		}
+		if err := t.job.Map(p.Key, p.Value, static, em); err != nil {
+			t.fatal(fmt.Errorf("map %d/%d key %v: %w", t.phase, t.idx, p.Key, err))
+			return
+		}
+	}
+	t.e.stretch(t.worker, time.Since(start))
+}
+
+// processBroadcast runs the user map once per static record with the
+// complete state list (OneToAll).
+func (t *mapTask) processBroadcast(iter int, statePairs []kv.Pair) {
+	start := time.Now()
+	t.job.Ops.SortPairs(statePairs) // deterministic state order across runs
+	em := t.emitFn(iter)
+	for _, sp := range t.staticPairs {
+		if err := t.job.Map(sp.Key, statePairs, sp.Value, em); err != nil {
+			t.fatal(fmt.Errorf("map %d/%d key %v: %w", t.phase, t.idx, sp.Key, err))
+			return
+		}
+	}
+	t.e.stretch(t.worker, time.Since(start))
+}
+
+// emitFn returns the emit callback for one iteration's map output: pairs
+// are partitioned by the phase's Ops and flushed to the reduce tasks in
+// BufferThreshold-sized chunks.
+func (t *mapTask) emitFn(iter int) kv.Emit {
+	return func(k, v any) {
+		r := t.job.Ops.Partition(k, t.numReduce)
+		t.outBuf[r] = append(t.outBuf[r], kv.Pair{Key: k, Value: v})
+		if len(t.outBuf[r]) >= t.bufThresh {
+			t.sendShuffle(iter, r, false)
+		}
+	}
+}
+
+// sendShuffle flushes the buffer for reduce r, running the combiner
+// over the chunk first when one is configured.
+func (t *mapTask) sendShuffle(iter, r int, end bool) {
+	pairs := t.outBuf[r]
+	t.outBuf[r] = nil
+	if t.job.Combine != nil && len(pairs) > 1 {
+		groups := kv.GroupPairs(pairs, t.job.Ops)
+		combined := make([]kv.Pair, 0, len(groups))
+		for _, g := range groups {
+			v, err := t.job.Combine(g.Key, g.Values)
+			if err != nil {
+				t.fatal(fmt.Errorf("map %d/%d combine key %v: %w", t.phase, t.idx, g.Key, err))
+				return
+			}
+			combined = append(combined, kv.Pair{Key: g.Key, Value: v})
+		}
+		pairs = combined
+	}
+	var size int64
+	for _, p := range pairs {
+		size += int64(t.job.Ops.PairSize(p))
+	}
+	t.e.m.Add(metrics.ShuffleBytes, size)
+	if t.run.workerOfPhasePair(t.phase, r) != t.worker {
+		t.e.m.Add(metrics.ShuffleRemote, size)
+	}
+	t.send(t.redAddrs[r], kindShuffle, shuffleChunk{
+		Gen: t.gen, Iter: iter, FromMap: t.idx, Pairs: pairs, End: end,
+	}, size)
+}
+
+// flushEnds sends every reduce its remaining pairs with the
+// end-of-iteration marker (the maps→reduce barrier signal).
+func (t *mapTask) flushEnds(iter int) {
+	for r := 0; r < t.numReduce; r++ {
+		t.sendShuffle(iter, r, true)
+	}
+}

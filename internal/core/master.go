@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"imapreduce/internal/kv"
+	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
+)
+
+// masterLoop is the job master (§3.1.2, §3.4): it merges per-iteration
+// distance reports, decides termination, coordinates checkpoints,
+// migrates task pairs off slow workers, and recovers from worker
+// failures by rolling the cluster back to the last durable checkpoint.
+func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
+	n, auxN int, master transport.Endpoint, ts *taskSet, start time.Time) (*Result, error) {
+
+	last := phases[len(phases)-1]
+	totalTasks := len(ts.all)
+
+	sendCmd := func(addrs []string, c cmdMsg) {
+		for _, a := range addrs {
+			_ = master.Send(a, transport.Message{Kind: kindCmd, Payload: c})
+		}
+	}
+
+	gen := 1
+	rbToIter := 0
+	acks := 0
+	ckptLast := 0 // latest checkpoint durable on all parts
+	reports := make(map[int]map[int]reportMsg)
+	auxBuf := make(map[int]map[int][]kv.Pair)
+	ckptAcks := make(map[int]map[int]bool)
+	perIter := make(map[int]IterInfo)
+	live := make(map[string]bool, len(e.spec.Nodes))
+	for _, w := range e.spec.IDs() {
+		live[w] = true
+	}
+
+	terminated := false
+	converged := false
+	auxStop := false
+	stopIter := 0
+	finals := 0
+	outputRecords := 0
+	migrations, recoveries := 0, 0
+	lastMigIter := 0
+	// migratedCount guards against the §3.4.2 pathology: on a uniform
+	// cluster a skewed partition would otherwise keep moving from
+	// worker to worker. After MaxPairMigrations moves the pair is
+	// confined and no longer migrated.
+	migratedCount := make(map[int]int)
+	// Auxiliary flow control: the loop-back for iteration k is released
+	// only once the auxiliary phase has evaluated iteration k-1, so the
+	// aux phase overlaps the next iteration (§5.3's parallelism) without
+	// falling arbitrarily far behind the decision point.
+	auxDone := 0
+	pendingProceed := map[int]bool{}
+
+	rollbackAll := func(toIter int) {
+		gen++
+		acks = 0
+		rbToIter = toIter
+		reports = make(map[int]map[int]reportMsg)
+		auxBuf = make(map[int]map[int][]kv.Pair)
+		ckptAcks = make(map[int]map[int]bool)
+		pendingProceed = map[int]bool{}
+		if auxDone > toIter {
+			auxDone = toIter
+		}
+		for it := range perIter {
+			if it > toIter {
+				delete(perIter, it)
+			}
+		}
+		sendCmd(ts.all, cmdMsg{Kind: cmdRollback, Gen: gen, ToIter: toIter})
+	}
+
+	terminate := func() {
+		terminated = true
+		sendCmd(ts.all, cmdMsg{Kind: cmdTerminate})
+	}
+
+	// leastLoaded picks the live worker hosting the fewest main pairs.
+	leastLoaded := func() string {
+		load := map[string]int{}
+		run.mu.RLock()
+		for _, w := range run.pairWorker {
+			load[w]++
+		}
+		run.mu.RUnlock()
+		best := ""
+		for w := range live {
+			if !live[w] {
+				continue
+			}
+			if best == "" || load[w] < load[best] {
+				best = w
+			}
+		}
+		return best
+	}
+
+	// Kick the computation off: reset everyone to checkpoint 0, then
+	// (on full acknowledgement) tell the first phase's maps to load it.
+	rollbackAll(0)
+
+	timeout := time.NewTimer(e.opts.Timeout)
+	defer timeout.Stop()
+	for {
+		timeout.Reset(e.opts.Timeout)
+		var msg transport.Message
+		select {
+		case m, ok := <-master.Recv():
+			if !ok {
+				return nil, fmt.Errorf("core: job %s: master endpoint closed", job.Name)
+			}
+			msg = m
+		case <-timeout.C:
+			return nil, fmt.Errorf("core: job %s: no progress for %v (deadlock or lost tasks)", job.Name, e.opts.Timeout)
+		}
+
+		switch pl := msg.Payload.(type) {
+		case rbAckMsg:
+			if pl.Gen != gen {
+				continue
+			}
+			acks++
+			if acks == totalTasks {
+				sendCmd(ts.phase0Maps, cmdMsg{Kind: cmdGo, ToIter: rbToIter})
+			}
+
+		case taskErrMsg:
+			terminate()
+			return nil, fmt.Errorf("core: job %s: task %d/%d failed: %s", job.Name, pl.Phase, pl.Task, pl.Err)
+
+		case failMsg:
+			if !live[pl.Worker] || terminated {
+				continue
+			}
+			live[pl.Worker] = false
+			if !anyLive(live) {
+				terminate()
+				return nil, fmt.Errorf("core: job %s: all workers failed", job.Name)
+			}
+			e.fs.FailNode(pl.Worker)
+			// Re-place every pair that lived on the failed worker, then
+			// roll the whole computation back to the last durable
+			// checkpoint (§3.4.1).
+			for i := 0; i < n; i++ {
+				if run.workerOfPhasePair(0, i) == pl.Worker {
+					nw := leastLoaded()
+					run.setPairWorker(i, nw, false)
+					sendCmd(ts.byPair[i], cmdMsg{Kind: cmdReassign, Worker: nw})
+				}
+			}
+			for i := 0; i < auxN; i++ {
+				if run.workerOfPhasePair(len(phases), i) == pl.Worker {
+					nw := leastLoaded()
+					run.setPairWorker(i, nw, true)
+					sendCmd(ts.auxByPair[i], cmdMsg{Kind: cmdReassign, Worker: nw})
+				}
+			}
+			recoveries++
+			rollbackAll(ckptLast)
+
+		case ckptMsg:
+			if pl.Gen != gen {
+				continue
+			}
+			if ckptAcks[pl.Iter] == nil {
+				ckptAcks[pl.Iter] = make(map[int]bool)
+			}
+			ckptAcks[pl.Iter][pl.Task] = true
+			if len(ckptAcks[pl.Iter]) == n && pl.Iter > ckptLast {
+				ckptLast = pl.Iter
+			}
+
+		case auxOutMsg:
+			if pl.Gen != gen || terminated {
+				continue
+			}
+			if auxBuf[pl.Iter] == nil {
+				auxBuf[pl.Iter] = make(map[int][]kv.Pair)
+			}
+			auxBuf[pl.Iter][pl.Task] = pl.Pairs
+			if len(auxBuf[pl.Iter]) == auxN {
+				var all []kv.Pair
+				for i := 0; i < auxN; i++ {
+					all = append(all, auxBuf[pl.Iter][i]...)
+				}
+				aux.Ops.SortPairs(all)
+				delete(auxBuf, pl.Iter)
+				if pl.Iter > auxDone {
+					auxDone = pl.Iter
+				}
+				if job.AuxDecide(pl.Iter, all) {
+					// Termination signal from the auxiliary phase
+					// (§5.3.2); applied at the next iteration boundary so
+					// the final state is a consistent snapshot.
+					auxStop = true
+					converged = true
+				}
+				if pendingProceed[auxDone+1] {
+					delete(pendingProceed, auxDone+1)
+					if auxStop {
+						// The held boundary is a consistent snapshot:
+						// stop right here instead of feeding another
+						// iteration.
+						stopIter = auxDone + 1
+						terminate()
+					} else {
+						sendCmd(ts.termReds, cmdMsg{Kind: cmdProceed, ToIter: auxDone + 1})
+					}
+				}
+			}
+
+		case reportMsg:
+			if pl.Gen != gen || terminated {
+				continue
+			}
+			if reports[pl.Iter] == nil {
+				reports[pl.Iter] = make(map[int]reportMsg)
+			}
+			reports[pl.Iter][pl.Task] = pl
+			if len(reports[pl.Iter]) < n {
+				continue
+			}
+			// Iteration boundary: merge the local distance values
+			// (§3.1.2) and the timing reports (§3.4.2).
+			iter := pl.Iter
+			var dist float64
+			var maxElapsed time.Duration
+			for _, r := range reports[iter] {
+				dist += r.Dist
+				if d := time.Duration(r.ElapsedNanos); d > maxElapsed {
+					maxElapsed = d
+				}
+			}
+			perIter[iter] = IterInfo{
+				Iter: iter, Dist: dist,
+				CompletedAt:     time.Since(start),
+				MaxTaskElapsed:  maxElapsed,
+				CumShuffleBytes: e.m.Get(metrics.ShuffleBytes),
+				CumStateBytes:   e.m.Get(metrics.StateBytes),
+			}
+			stop := auxStop
+			if last.MaxIter > 0 && iter >= last.MaxIter {
+				stop = true
+			}
+			if last.DistThreshold > 0 && last.Distance != nil && dist < last.DistThreshold {
+				stop = true
+				converged = true
+			}
+			if stop {
+				stopIter = iter
+				terminate()
+				continue
+			}
+			if mig := e.maybeMigrate(master, run, ts, reports[iter], live, iter, lastMigIter, migratedCount); mig {
+				migrations++
+				lastMigIter = iter
+				rollbackAll(ckptLast)
+				continue
+			}
+			// Release the gated loop-back: the termination check passed
+			// and iteration iter+1 may be fed — unless an auxiliary
+			// phase exists and has not yet evaluated iteration iter-1.
+			if auxN > 0 && auxDone < iter-1 {
+				pendingProceed[iter] = true
+			} else {
+				sendCmd(ts.termReds, cmdMsg{Kind: cmdProceed, ToIter: iter})
+			}
+			delete(reports, iter)
+
+		case finalMsg:
+			if pl.Err != "" {
+				return nil, fmt.Errorf("core: job %s: final write of part %d: %s", job.Name, pl.Task, pl.Err)
+			}
+			finals++
+			outputRecords += pl.Records
+			if finals == n {
+				res := &Result{
+					Iterations:    stopIter,
+					Converged:     converged,
+					OutputRecords: outputRecords,
+					Migrations:    migrations,
+					Recoveries:    recoveries,
+				}
+				iters := make([]int, 0, len(perIter))
+				for it := range perIter {
+					iters = append(iters, it)
+				}
+				sort.Ints(iters)
+				for _, it := range iters {
+					if it <= stopIter {
+						res.PerIter = append(res.PerIter, perIter[it])
+					}
+				}
+				return res, nil
+			}
+		}
+	}
+}
+
+// maybeMigrate applies the paper's load-balancing rule (§3.4.2): compute
+// the average iteration time excluding the longest and shortest, and if
+// the slowest task deviates beyond the threshold, move its pair to the
+// fastest worker. Returns true when a migration was issued (the caller
+// rolls back).
+func (e *Engine) maybeMigrate(master transport.Endpoint, run *runState, ts *taskSet, reps map[int]reportMsg,
+	live map[string]bool, iter, lastMigIter int, migratedCount map[int]int) bool {
+	if !e.opts.LoadBalance || iter < e.opts.LBMinIter || iter <= lastMigIter+1 || len(reps) < 3 {
+		return false
+	}
+	type te struct {
+		task    int
+		elapsed time.Duration
+		worker  string
+	}
+	all := make([]te, 0, len(reps))
+	for t, r := range reps {
+		all = append(all, te{task: t, elapsed: time.Duration(r.ElapsedNanos), worker: r.Worker})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].elapsed < all[j].elapsed })
+	var sum time.Duration
+	for _, x := range all[1 : len(all)-1] {
+		sum += x.elapsed
+	}
+	avg := sum / time.Duration(len(all)-2)
+	slow := all[len(all)-1]
+	if avg <= 0 || float64(slow.elapsed-avg)/float64(avg) <= e.opts.LBThreshold {
+		return false
+	}
+	if migratedCount[slow.task] >= MaxPairMigrations {
+		// Confined (§3.4.2): this pair is slow wherever it runs — the
+		// partition itself is skewed, and moving it again would only
+		// cost rollbacks.
+		return false
+	}
+	// Fastest live worker by its worst task this iteration.
+	worst := map[string]time.Duration{}
+	for _, x := range all {
+		if x.elapsed > worst[x.worker] {
+			worst[x.worker] = x.elapsed
+		}
+	}
+	fast := ""
+	for w, d := range worst {
+		if !live[w] || w == slow.worker {
+			continue
+		}
+		if fast == "" || d < worst[fast] {
+			fast = w
+		}
+	}
+	if fast == "" {
+		return false
+	}
+	run.setPairWorker(slow.task, fast, false)
+	for _, a := range ts.byPair[slow.task] {
+		_ = master.Send(a, transport.Message{Kind: kindCmd, Payload: cmdMsg{Kind: cmdReassign, Worker: fast}})
+	}
+	migratedCount[slow.task]++
+	e.m.Add(metrics.TaskMigrations, 1)
+	return true
+}
+
+// MaxPairMigrations bounds how often the load balancer will move one
+// task pair before confining it (§3.4.2: a skewed partition on a
+// uniform cluster would otherwise keep moving around).
+const MaxPairMigrations = 2
+
+func anyLive(live map[string]bool) bool {
+	for _, ok := range live {
+		if ok {
+			return true
+		}
+	}
+	return false
+}

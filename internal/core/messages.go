@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"imapreduce/internal/kv"
+)
+
+// Endpoint naming: every persistent task and the master own one
+// transport endpoint for the lifetime of the run.
+func mapAddr(job string, phase, idx int) string { return fmt.Sprintf("%s/map/%d/%d", job, phase, idx) }
+func redAddr(job string, phase, idx int) string { return fmt.Sprintf("%s/red/%d/%d", job, phase, idx) }
+func masterAddr(job string) string              { return job + "/master" }
+
+// Message kinds on the wire.
+const (
+	kindState   = "state"   // reduce → map (or self-load) iterated state
+	kindShuffle = "shuffle" // map → reduce intermediate data
+	kindReport  = "report"  // reduce → master iteration completion report
+	kindAuxOut  = "auxout"  // aux reduce → master auxiliary output
+	kindCkpt    = "ckpt"    // reduce → master checkpoint completion
+	kindFinal   = "final"   // reduce → master final output written
+	kindCmd     = "cmd"     // master → task control
+	kindFail    = "fail"    // external → master worker failure injection
+)
+
+// stateChunk carries iterated state records from a reduce task to a map
+// task over the pair's persistent connection (or a broadcast copy of
+// them). Gen guards against messages from before a rollback; Iter is the
+// iteration the receiving map will process. From identifies the feeding
+// reduce task; End marks its last chunk for this iteration.
+type stateChunk struct {
+	Gen   int
+	Iter  int
+	From  int
+	Pairs []kv.Pair
+	End   bool
+}
+
+// shuffleChunk carries map output to a reduce task of the same phase.
+type shuffleChunk struct {
+	Gen     int
+	Iter    int
+	FromMap int
+	Pairs   []kv.Pair
+	End     bool
+}
+
+// reportMsg is the per-iteration completion report each termination-
+// phase reduce task sends the master (§3.4.2): task id, iteration
+// number, processing time — plus the local distance sum the master
+// merges for the convergence test (§3.1.2).
+type reportMsg struct {
+	Gen          int
+	Iter         int
+	Task         int
+	Dist         float64
+	ElapsedNanos int64
+	Worker       string
+}
+
+// auxOutMsg delivers an auxiliary phase's reduce output to the master.
+type auxOutMsg struct {
+	Gen   int
+	Iter  int
+	Task  int
+	Pairs []kv.Pair
+}
+
+// ckptMsg acknowledges that a reduce task's checkpoint for Iter reached
+// the DFS.
+type ckptMsg struct {
+	Gen  int
+	Iter int
+	Task int
+}
+
+// finalMsg acknowledges that a reduce task wrote its final output part.
+type finalMsg struct {
+	Task    int
+	Records int
+	Err     string
+}
+
+// cmdMsg is a master → task control command.
+type cmdMsg struct {
+	Kind string // cmdRollback | cmdTerminate | cmdReassign
+	// Gen is the new generation (rollback).
+	Gen int
+	// ToIter is the checkpoint iteration to restart from (rollback).
+	ToIter int
+	// Worker is the new worker binding (reassign).
+	Worker string
+}
+
+const (
+	cmdRollback  = "rollback"
+	cmdTerminate = "terminate"
+	cmdReassign  = "reassign"
+	// cmdGo is the second half of the rollback protocol: once every
+	// task has acknowledged the reset (so no old-generation traffic can
+	// be mistaken for new), the master tells the first phase's maps to
+	// load the checkpointed state and start iterating.
+	cmdGo = "go"
+	// cmdProceed releases a gated termination reduce's held output for
+	// iteration ToIter: when the job can stop at any boundary (distance
+	// threshold or auxiliary decision), the loop-back waits for the
+	// master's termination check so the final state is exactly the
+	// decided iteration.
+	cmdProceed = "proceed"
+)
+
+// rbAckMsg acknowledges a rollback reset.
+type rbAckMsg struct {
+	Gen   int
+	Phase int
+	Task  int
+}
+
+// failMsg asks the master to treat a worker as crashed.
+type failMsg struct {
+	Worker string
+}
+
+// taskErrMsg reports a fatal user-function or I/O error from a task; the
+// master aborts the run.
+type taskErrMsg struct {
+	Phase int
+	Task  int
+	Err   string
+}
+
+func init() {
+	kv.RegisterWireType(stateChunk{})
+	kv.RegisterWireType(shuffleChunk{})
+	kv.RegisterWireType(reportMsg{})
+	kv.RegisterWireType(auxOutMsg{})
+	kv.RegisterWireType(ckptMsg{})
+	kv.RegisterWireType(finalMsg{})
+	kv.RegisterWireType(cmdMsg{})
+	kv.RegisterWireType(failMsg{})
+	kv.RegisterWireType(taskErrMsg{})
+	kv.RegisterWireType(rbAckMsg{})
+}

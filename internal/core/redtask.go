@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"imapreduce/internal/kv"
+	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
+)
+
+// reduceTask is one persistent reduce task. It collects shuffle chunks
+// from every map task of its phase, reactivates when all of them have
+// finished the iteration (the maps→reduce barrier the paper keeps), runs
+// the user reduce, and streams the new state over the persistent
+// connection to its paired map task — plus broadcast/auxiliary copies
+// when configured.
+type reduceTask struct {
+	e       *Engine
+	run     *runState
+	jobName string
+	job     *Job
+	phase   int
+	idx     int
+	isAux   bool
+	// isTermination marks the main chain's final phase: it keeps the
+	// previous iteration's state for the Distance test, reports
+	// iteration completions to the master, writes checkpoints, and
+	// produces the final output.
+	isTermination bool
+
+	worker string
+	gen    int
+	iter   int
+
+	ep      transport.Endpoint
+	numMaps int
+
+	// Routing of the new state: targetAddrs are the next phase's maps
+	// (one for OneToOne, all for broadcast); targetIterDelta is 1 when
+	// this reduce closes the iteration loop (last phase → first phase)
+	// and 0 between consecutive phases of one iteration.
+	targetAddrs     []string
+	targetPhase     int
+	targetIterDelta int
+	// toMaster replaces targets for an auxiliary phase's reduce: output
+	// goes to the master for the AuxDecide test.
+	toMaster bool
+	// auxAddrs receive an extra copy of the state (termination phase of
+	// a job with an auxiliary phase).
+	auxAddrs []string
+	auxPhase int
+
+	bufThresh int
+	outBuf    []kv.Pair
+	pend      map[int]*redAccum
+	prev      map[any]any
+	// feedMain gates loop-back delivery: once the iteration bound is
+	// reached the termination reduce stops feeding the next iteration,
+	// so the final state is exactly iteration MaxIter.
+	feedMain bool
+	// gated marks a termination reduce whose job can stop at any
+	// iteration boundary (distance threshold or auxiliary decision):
+	// loop-back output is held until the master's proceed command so
+	// the computation never runs past the decided stop.
+	gated bool
+	held  map[int][]kv.Pair
+}
+
+type redAccum struct {
+	pairs []kv.Pair
+	ends  int
+}
+
+func (t *reduceTask) loop() {
+	for msg := range t.ep.Recv() {
+		switch pl := msg.Payload.(type) {
+		case shuffleChunk:
+			t.handleShuffle(pl)
+		case cmdMsg:
+			switch pl.Kind {
+			case cmdTerminate:
+				t.writeFinal()
+				return
+			case cmdReassign:
+				t.worker = pl.Worker
+			case cmdRollback:
+				t.rollback(pl)
+			case cmdProceed:
+				if pairs, ok := t.held[pl.ToIter]; ok {
+					delete(t.held, pl.ToIter)
+					t.outBuf = pairs
+					t.deliverMain(pl.ToIter)
+				}
+			}
+		}
+	}
+}
+
+func (t *reduceTask) fatal(err error) {
+	t.send(masterAddr(t.jobName), kindFail, taskErrMsg{Phase: t.phase, Task: t.idx, Err: err.Error()}, 0)
+}
+
+func (t *reduceTask) send(to, kind string, payload any, size int64) {
+	_ = t.ep.Send(to, transport.Message{Kind: kind, Payload: payload, Size: size})
+}
+
+// rollback resets to checkpoint iteration cmd.ToIter; the termination
+// phase reloads its previous-state table from the checkpoint so the
+// next distance measurement is taken against the right baseline.
+func (t *reduceTask) rollback(cmd cmdMsg) {
+	t.gen = cmd.Gen
+	t.iter = cmd.ToIter + 1
+	t.pend = make(map[int]*redAccum)
+	t.outBuf = nil
+	t.held = make(map[int][]kv.Pair)
+	defer t.send(masterAddr(t.jobName), kindCmd, rbAckMsg{Gen: t.gen, Phase: t.phase, Task: t.idx}, 0)
+	if !t.isTermination {
+		return
+	}
+	pairs, err := t.e.fs.ReadFile(t.run.ckptPath(cmd.ToIter, t.idx), t.worker)
+	if err != nil {
+		t.fatal(fmt.Errorf("reduce %d/%d: load checkpoint %d: %w", t.phase, t.idx, cmd.ToIter, err))
+		return
+	}
+	t.prev = make(map[any]any, len(pairs))
+	for _, p := range pairs {
+		t.prev[p.Key] = p.Value
+	}
+}
+
+func (t *reduceTask) handleShuffle(c shuffleChunk) {
+	if c.Gen != t.gen || c.Iter < t.iter {
+		return
+	}
+	a := t.pend[c.Iter]
+	if a == nil {
+		a = &redAccum{}
+		t.pend[c.Iter] = a
+	}
+	a.pairs = append(a.pairs, c.Pairs...)
+	if c.End {
+		a.ends++
+	}
+	for {
+		a := t.pend[t.iter]
+		if a == nil || a.ends < t.numMaps {
+			return
+		}
+		t.finishIteration(t.iter, a.pairs)
+		delete(t.pend, t.iter)
+		t.iter++
+	}
+}
+
+// finishIteration groups, reduces, measures distance, streams the new
+// state out, checkpoints, and reports.
+func (t *reduceTask) finishIteration(iter int, pairs []kv.Pair) {
+	start := time.Now()
+	t.feedMain = !(t.isTermination && t.job.MaxIter > 0 && iter >= t.job.MaxIter)
+	groups := kv.GroupPairs(pairs, t.job.Ops)
+	out := make([]kv.Pair, 0, len(groups))
+	var dist float64
+	for _, g := range groups {
+		ns, err := t.job.Reduce(g.Key, g.Values)
+		if err != nil {
+			t.fatal(fmt.Errorf("reduce %d/%d key %v: %w", t.phase, t.idx, g.Key, err))
+			return
+		}
+		if t.isTermination {
+			if t.job.Distance != nil {
+				if pv, ok := t.prev[g.Key]; ok {
+					dist += t.job.Distance(g.Key, pv, ns)
+				}
+			}
+			t.prev[g.Key] = ns
+		}
+		out = append(out, kv.Pair{Key: g.Key, Value: ns})
+		if !t.gated {
+			t.outBuf = append(t.outBuf, kv.Pair{Key: g.Key, Value: ns})
+			if len(t.outBuf) >= t.bufThresh {
+				t.flushStreaming(iter, false)
+			}
+		}
+	}
+	compute := time.Since(start)
+	t.e.stretch(t.worker, compute)
+	elapsed := t.e.spec.StretchFor(t.worker, compute)
+
+	if t.gated {
+		// Auxiliary copies flow immediately (the aux phase must see the
+		// data to decide); the loop-back is held for the master's
+		// termination verdict.
+		if len(t.auxAddrs) > 0 {
+			t.deliverChunk(t.auxAddrs, t.auxPhase, iter, out, true)
+		}
+		if t.feedMain && !t.toMaster {
+			t.held[iter] = out
+		}
+	} else {
+		t.flushStreaming(iter, true)
+	}
+
+	if t.toMaster {
+		t.send(masterAddr(t.jobName), kindAuxOut,
+			auxOutMsg{Gen: t.gen, Iter: iter, Task: t.idx, Pairs: out}, 0)
+		return
+	}
+	if !t.isTermination {
+		return
+	}
+	if t.job.CheckpointEvery > 0 && iter%t.job.CheckpointEvery == 0 {
+		t.checkpoint(iter, out)
+	}
+	t.send(masterAddr(t.jobName), kindReport, reportMsg{
+		Gen: t.gen, Iter: iter, Task: t.idx, Dist: dist,
+		ElapsedNanos: int64(elapsed), Worker: t.worker,
+	}, 0)
+}
+
+// deliverMain releases held output for iter to the main targets.
+func (t *reduceTask) deliverMain(iter int) {
+	pairs := t.outBuf
+	t.outBuf = nil
+	t.deliverChunk(t.targetAddrs, t.targetPhase, iter+t.targetIterDelta, pairs, true)
+}
+
+// flushStreaming sends buffered new-state records to the next phase's
+// map(s) — and an auxiliary copy — in BufferThreshold-sized chunks
+// (§3.3's buffered eager triggering).
+func (t *reduceTask) flushStreaming(iter int, end bool) {
+	pairs := t.outBuf
+	t.outBuf = nil
+	if len(pairs) == 0 && !end {
+		return
+	}
+	if !t.toMaster && t.feedMain {
+		t.deliverChunk(t.targetAddrs, t.targetPhase, iter+t.targetIterDelta, pairs, end)
+	}
+	if len(t.auxAddrs) > 0 {
+		t.deliverChunk(t.auxAddrs, t.auxPhase, iter, pairs, end)
+	}
+}
+
+// deliverChunk sends one state chunk to each address, accounting local
+// vs cross-worker traffic.
+func (t *reduceTask) deliverChunk(addrs []string, phase, tagIter int, pairs []kv.Pair, end bool) {
+	var size int64
+	for _, p := range pairs {
+		size += int64(t.job.Ops.PairSize(p))
+	}
+	for i, addr := range addrs {
+		tgt := i
+		if len(addrs) == 1 {
+			tgt = t.idx // one-to-one: the paired map has our index
+		}
+		t.e.m.Add(metrics.StateBytes, size)
+		if t.run.workerOfPhasePair(phase, tgt) != t.worker {
+			t.e.m.Add(metrics.StateRemote, size)
+		}
+		t.send(addr, kindState, stateChunk{
+			Gen: t.gen, Iter: tagIter, From: t.idx, Pairs: pairs, End: end,
+		}, size)
+	}
+}
+
+// checkpoint dumps this partition's state to DFS in parallel with the
+// iterative computation (§3.4.1) and tells the master when it is
+// durable.
+func (t *reduceTask) checkpoint(iter int, out []kv.Pair) {
+	snapshot := make([]kv.Pair, len(out))
+	copy(snapshot, out)
+	path := t.run.ckptPath(iter, t.idx)
+	gen := t.gen
+	worker := t.worker // capture: the loop may reassign while we write
+	go func() {
+		if err := t.e.fs.WriteFile(path, worker, snapshot, t.job.Ops); err != nil {
+			t.fatal(fmt.Errorf("reduce %d/%d: checkpoint %d: %w", t.phase, t.idx, iter, err))
+			return
+		}
+		t.e.m.Add(metrics.Checkpoints, 1)
+		t.send(masterAddr(t.jobName), kindCkpt, ckptMsg{Gen: gen, Iter: iter, Task: t.idx}, 0)
+	}()
+}
+
+// writeFinal writes this partition of the converged state to the output
+// path (the single DFS write of the whole run, §3.1) and acknowledges
+// the master.
+func (t *reduceTask) writeFinal() {
+	if !t.isTermination {
+		return
+	}
+	out := make([]kv.Pair, 0, len(t.prev))
+	for k, v := range t.prev {
+		out = append(out, kv.Pair{Key: k, Value: v})
+	}
+	t.job.Ops.SortPairs(out)
+	path := fmt.Sprintf("%s/part-%d", t.run.outputPath, t.idx)
+	if err := t.e.fs.WriteFile(path, t.worker, out, t.job.Ops); err != nil {
+		t.send(masterAddr(t.jobName), kindFinal, finalMsg{Task: t.idx, Err: err.Error()}, 0)
+		return
+	}
+	t.send(masterAddr(t.jobName), kindFinal, finalMsg{Task: t.idx, Records: len(out)}, 0)
+}

@@ -1,0 +1,461 @@
+// Package dfs implements the distributed file system both engines store
+// input, output and checkpoints in. It mirrors HDFS's architecture at
+// the level the paper depends on: files are split into fixed-size blocks,
+// each block is replicated on several datanodes, readers prefer a local
+// replica, and the namenode tracks placement so the job tracker can
+// schedule map tasks near their data.
+//
+// By default records are stored in memory (a run is one process); sizes
+// are tracked from caller-provided estimates so that block splitting,
+// replication traffic and locality accounting behave like a
+// byte-addressed file system without serializing every record. Setting
+// Config.SpillDir switches committed blocks to gob-encoded files on
+// local disk — the file-backed storage the paper contrasts with
+// Twister's memory-resident design (§6) — at the cost of a
+// serialization round trip per block access.
+package dfs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"imapreduce/internal/kv"
+	"imapreduce/internal/metrics"
+)
+
+// Config sets the HDFS-like parameters. The paper's experiments use a
+// 64 MB block size and (implicitly) 3-way replication.
+type Config struct {
+	BlockSize   int64 // bytes per block before a new block is cut
+	Replication int   // replicas per block (capped at live datanodes)
+	// SpillDir, when non-empty, stores committed blocks as gob files
+	// under this directory instead of keeping records in memory. All
+	// key and value types must be gob-registered
+	// (kv.RegisterWireType).
+	SpillDir string
+}
+
+// DefaultConfig matches the paper's Hadoop configuration, scaled to the
+// in-memory substrate.
+func DefaultConfig() Config {
+	return Config{BlockSize: 64 << 20, Replication: 3}
+}
+
+type block struct {
+	recs     []kv.Pair // nil when spilled to disk
+	diskPath string    // non-empty when spilled
+	checksum uint32    // CRC-32 of the spilled encoding
+	count    int
+	bytes    int64
+	replicas []string
+}
+
+// load returns the block's records, decoding from disk when spilled and
+// verifying the stored checksum first, the way HDFS datanodes verify
+// block CRCs on read.
+func (b *block) load() ([]kv.Pair, error) {
+	if b.diskPath == "" {
+		return b.recs, nil
+	}
+	data, err := os.ReadFile(b.diskPath)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: read spilled block: %w", err)
+	}
+	if sum := crc32.ChecksumIEEE(data); sum != b.checksum {
+		return nil, fmt.Errorf("dfs: block %s corrupted (crc %08x, want %08x)", b.diskPath, sum, b.checksum)
+	}
+	var recs []kv.Pair
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("dfs: decode spilled block: %w", err)
+	}
+	return recs, nil
+}
+
+// spill writes the block to dir (with its checksum recorded at the
+// namenode) and releases the in-memory records.
+func (b *block) spill(dir string, seq int64) error {
+	path := filepath.Join(dir, fmt.Sprintf("blk-%08d.gob", seq))
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b.recs); err != nil {
+		return fmt.Errorf("dfs: encode block: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("dfs: spill block: %w", err)
+	}
+	b.checksum = crc32.ChecksumIEEE(buf.Bytes())
+	b.diskPath = path
+	b.recs = nil
+	return nil
+}
+
+type file struct {
+	blocks []*block
+	bytes  int64
+}
+
+// DFS is the namenode plus all datanodes of one simulated cluster.
+type DFS struct {
+	mu      sync.Mutex
+	cfg     Config
+	nodes   []string
+	alive   map[string]bool
+	files   map[string]*file
+	rng     *rand.Rand
+	nextPos int   // round-robin start for replica placement
+	seq     int64 // spill file counter
+	m       *metrics.Set
+}
+
+// New creates a DFS over the given datanodes. m may be nil.
+func New(cfg Config, nodeIDs []string, m *metrics.Set) *DFS {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultConfig().BlockSize
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	alive := make(map[string]bool, len(nodeIDs))
+	for _, id := range nodeIDs {
+		alive[id] = true
+	}
+	return &DFS{
+		cfg:   cfg,
+		nodes: append([]string(nil), nodeIDs...),
+		alive: alive,
+		files: make(map[string]*file),
+		rng:   rand.New(rand.NewSource(42)),
+		m:     m,
+	}
+}
+
+// Writer appends records to a file under construction. Close commits it.
+type Writer struct {
+	fs     *DFS
+	path   string
+	atNode string
+	cur    *block
+	blocks []*block
+	bytes  int64
+	closed bool
+}
+
+// Create starts writing path from atNode (the first replica of every
+// block is pinned there when possible, like an HDFS client write).
+// An existing file at path is replaced on Close.
+func (fs *DFS) Create(path, atNode string) *Writer {
+	return &Writer{fs: fs, path: path, atNode: atNode, cur: &block{}}
+}
+
+// Append adds one record of the given estimated size.
+func (w *Writer) Append(p kv.Pair, size int) {
+	if w.closed {
+		panic("dfs: Append after Close")
+	}
+	if w.cur.bytes > 0 && w.cur.bytes+int64(size) > w.fs.cfg.BlockSize {
+		w.blocks = append(w.blocks, w.cur)
+		w.cur = &block{}
+	}
+	w.cur.recs = append(w.cur.recs, p)
+	w.cur.bytes += int64(size)
+	w.bytes += int64(size)
+}
+
+// Close places replicas for every block and commits the file to the
+// namenode. It reports the replication write traffic to metrics.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.cur.recs) > 0 || len(w.blocks) == 0 {
+		w.blocks = append(w.blocks, w.cur)
+	}
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	// Replacing a file releases its spilled blocks.
+	if old, ok := w.fs.files[w.path]; ok {
+		for _, b := range old.blocks {
+			if b.diskPath != "" {
+				os.Remove(b.diskPath)
+			}
+		}
+	}
+	for _, b := range w.blocks {
+		reps, err := w.fs.placeLocked(w.atNode)
+		if err != nil {
+			return fmt.Errorf("dfs: create %s: %w", w.path, err)
+		}
+		b.replicas = reps
+		b.count = len(b.recs)
+		w.fs.m.Add(metrics.DFSWriteBytes, b.bytes*int64(len(reps)))
+		if w.fs.cfg.SpillDir != "" {
+			w.fs.seq++
+			if err := b.spill(w.fs.cfg.SpillDir, w.fs.seq); err != nil {
+				return err
+			}
+		}
+	}
+	w.fs.files[w.path] = &file{blocks: w.blocks, bytes: w.bytes}
+	return nil
+}
+
+// placeLocked picks replica nodes: first the writing node if alive, the
+// rest round-robin over live nodes, HDFS-style.
+func (fs *DFS) placeLocked(atNode string) ([]string, error) {
+	live := fs.liveLocked()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("no live datanodes")
+	}
+	want := fs.cfg.Replication
+	if want > len(live) {
+		want = len(live)
+	}
+	reps := make([]string, 0, want)
+	if atNode != "" && fs.alive[atNode] {
+		reps = append(reps, atNode)
+	}
+	for i := 0; len(reps) < want && i < len(live); i++ {
+		cand := live[(fs.nextPos+i)%len(live)]
+		dup := false
+		for _, r := range reps {
+			if r == cand {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			reps = append(reps, cand)
+		}
+	}
+	fs.nextPos++
+	return reps, nil
+}
+
+func (fs *DFS) liveLocked() []string {
+	live := make([]string, 0, len(fs.nodes))
+	for _, id := range fs.nodes {
+		if fs.alive[id] {
+			live = append(live, id)
+		}
+	}
+	return live
+}
+
+// WriteFile is the convenience path: write all records in one call,
+// sizing each with ops.
+func (fs *DFS) WriteFile(path, atNode string, recs []kv.Pair, ops kv.Ops) error {
+	w := fs.Create(path, atNode)
+	for _, p := range recs {
+		w.Append(p, ops.PairSize(p))
+	}
+	return w.Close()
+}
+
+// Split describes one block of one file for map-task scheduling.
+type Split struct {
+	Path      string
+	Block     int
+	Bytes     int64
+	Records   int
+	Locations []string // live replica holders
+}
+
+// Splits returns one Split per block of path, Hadoop's
+// one-map-task-per-block input format.
+func (fs *DFS) Splits(path string) ([]Split, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	splits := make([]Split, len(f.blocks))
+	for i, b := range f.blocks {
+		locs := make([]string, 0, len(b.replicas))
+		for _, r := range b.replicas {
+			if fs.alive[r] {
+				locs = append(locs, r)
+			}
+		}
+		splits[i] = Split{Path: path, Block: i, Bytes: b.bytes, Records: b.count, Locations: locs}
+	}
+	return splits, nil
+}
+
+// ReadSplit returns the records of one block, read from atNode. It
+// accounts the read bytes and whether the read crossed the network.
+func (fs *DFS) ReadSplit(s Split, atNode string) ([]kv.Pair, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[s.Path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", s.Path)
+	}
+	if s.Block < 0 || s.Block >= len(f.blocks) {
+		return nil, fmt.Errorf("dfs: %s has no block %d", s.Path, s.Block)
+	}
+	b := f.blocks[s.Block]
+	local := false
+	anyAlive := false
+	for _, r := range b.replicas {
+		if fs.alive[r] {
+			anyAlive = true
+			if r == atNode {
+				local = true
+			}
+		}
+	}
+	if !anyAlive {
+		return nil, fmt.Errorf("dfs: all replicas of %s block %d are down", s.Path, s.Block)
+	}
+	fs.m.Add(metrics.DFSReadBytes, b.bytes)
+	if !local {
+		fs.m.Add(metrics.DFSReadRemote, b.bytes)
+	}
+	return b.load()
+}
+
+// ReadFile reads every record of path from atNode, in block order.
+func (fs *DFS) ReadFile(path, atNode string) ([]kv.Pair, error) {
+	splits, err := fs.Splits(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []kv.Pair
+	for _, s := range splits {
+		recs, err := fs.ReadSplit(s, atNode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// Stat describes a committed file.
+type Stat struct {
+	Bytes   int64
+	Blocks  int
+	Records int
+}
+
+// StatFile returns size information for path.
+func (fs *DFS) StatFile(path string) (Stat, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return Stat{}, fmt.Errorf("dfs: no such file %q", path)
+	}
+	st := Stat{Bytes: f.bytes, Blocks: len(f.blocks)}
+	for _, b := range f.blocks {
+		st.Records += b.count
+	}
+	return st, nil
+}
+
+// Exists reports whether path is committed.
+func (fs *DFS) Exists(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Delete removes path (no error if absent), including any spilled block
+// files.
+func (fs *DFS) Delete(path string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.files[path]; ok {
+		for _, b := range f.blocks {
+			if b.diskPath != "" {
+				os.Remove(b.diskPath)
+			}
+		}
+	}
+	delete(fs.files, path)
+}
+
+// List returns committed paths with the given prefix, sorted.
+func (fs *DFS) List(prefix string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FailNode marks a datanode dead: its replicas stop serving reads and it
+// receives no new replicas until RestoreNode. As in HDFS, the namenode
+// then re-replicates every under-replicated block onto live nodes (the
+// copy traffic is charged to the write counters).
+func (fs *DFS) FailNode(id string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.alive[id] = false
+	fs.reReplicateLocked()
+}
+
+// reReplicateLocked restores each block's live replica count to the
+// configured factor where enough live nodes exist.
+func (fs *DFS) reReplicateLocked() {
+	live := fs.liveLocked()
+	if len(live) == 0 {
+		return
+	}
+	want := fs.cfg.Replication
+	if want > len(live) {
+		want = len(live)
+	}
+	for _, f := range fs.files {
+		for _, b := range f.blocks {
+			var liveReps []string
+			has := map[string]bool{}
+			for _, r := range b.replicas {
+				if fs.alive[r] {
+					liveReps = append(liveReps, r)
+					has[r] = true
+				}
+			}
+			if len(liveReps) == 0 || len(liveReps) >= want {
+				// Every replica lost: nothing to copy from — the block
+				// stays unavailable until a holder is restored.
+				continue
+			}
+			for i := 0; len(liveReps) < want && i < len(live); i++ {
+				cand := live[(fs.nextPos+i)%len(live)]
+				if has[cand] {
+					continue
+				}
+				liveReps = append(liveReps, cand)
+				has[cand] = true
+				fs.m.Add(metrics.DFSWriteBytes, b.bytes)
+			}
+			fs.nextPos++
+			// Dead holders are dropped from the block map, as a namenode
+			// would after the re-replication completes.
+			b.replicas = liveReps
+		}
+	}
+}
+
+// RestoreNode brings a datanode back.
+func (fs *DFS) RestoreNode(id string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.alive[id] = true
+}

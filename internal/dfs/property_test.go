@@ -1,0 +1,118 @@
+package dfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyRoundtripAnyShape: any record count, block size, and
+// replication factor round-trips exactly.
+func TestPropertyRoundtripAnyShape(t *testing.T) {
+	f := func(nRaw uint16, blockRaw uint8, replRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		blockSize := int64(blockRaw%200) + 16
+		repl := int(replRaw%4) + 1
+		fs := New(Config{BlockSize: blockSize, Replication: repl}, nodes(3), nil)
+		in := recs(n)
+		if err := fs.WriteFile("/p", "a", in, testOps()); err != nil {
+			return false
+		}
+		out, err := fs.ReadFile("/p", "b")
+		if err != nil || len(out) != n {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		// Stat agrees with the data.
+		st, err := fs.StatFile("/p")
+		return err == nil && st.Records == n && st.Blocks >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySplitsPartitionRecords: block splits always cover every
+// record exactly once, in order.
+func TestPropertySplitsPartitionRecords(t *testing.T) {
+	f := func(nRaw uint16, blockRaw uint8) bool {
+		n := int(nRaw%300) + 1
+		blockSize := int64(blockRaw%100) + 16
+		fs := New(Config{BlockSize: blockSize, Replication: 2}, nodes(2), nil)
+		if err := fs.WriteFile("/s", "a", recs(n), testOps()); err != nil {
+			return false
+		}
+		splits, err := fs.Splits("/s")
+		if err != nil {
+			return false
+		}
+		var keys []int64
+		for _, s := range splits {
+			rs, err := fs.ReadSplit(s, "a")
+			if err != nil || len(rs) != s.Records {
+				return false
+			}
+			for _, r := range rs {
+				keys = append(keys, r.Key.(int64))
+			}
+		}
+		if len(keys) != n {
+			return false
+		}
+		for i, k := range keys {
+			if k != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentAccess exercises parallel writers and readers on
+// disjoint paths plus readers on a shared path.
+func TestConcurrentAccess(t *testing.T) {
+	fs := New(Config{BlockSize: 128, Replication: 2}, nodes(4), nil)
+	if err := fs.WriteFile("/shared", "a", recs(50), testOps()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		i := i
+		go func() {
+			path := "/w" + string(rune('0'+i))
+			if err := fs.WriteFile(path, "b", recs(40), testOps()); err != nil {
+				done <- err
+				return
+			}
+			out, err := fs.ReadFile(path, "c")
+			if err == nil && len(out) != 40 {
+				err = errWrongLen
+			}
+			done <- err
+		}()
+		go func() {
+			out, err := fs.ReadFile("/shared", "d")
+			if err == nil && len(out) != 50 {
+				err = errWrongLen
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errWrongLen = kvError("wrong record count")
+
+type kvError string
+
+func (e kvError) Error() string { return string(e) }

@@ -1,0 +1,63 @@
+// Package enginetest provides shared fixtures for algorithm and
+// experiment tests: ready-made engines over a fresh in-process cluster
+// and output readers.
+package enginetest
+
+import (
+	"time"
+
+	"imapreduce/internal/cluster"
+	"imapreduce/internal/core"
+	"imapreduce/internal/dfs"
+	"imapreduce/internal/mapreduce"
+	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
+)
+
+// Env bundles both engines over one DFS and metrics set.
+type Env struct {
+	Core *core.Engine
+	MR   *mapreduce.Engine
+	FS   *dfs.DFS
+	M    *metrics.Set
+	Spec cluster.Spec
+}
+
+// New builds an Env with the given number of uniform workers.
+func New(workers int) (*Env, error) {
+	return NewSpec(cluster.Uniform(workers))
+}
+
+// NewSpec builds an Env over an explicit cluster spec.
+func NewSpec(spec cluster.Spec) (*Env, error) {
+	m := metrics.NewSet()
+	fs := dfs.New(dfs.Config{BlockSize: 1 << 16, Replication: 2}, spec.IDs(), m)
+	ce, err := core.NewEngine(fs, transport.NewChanNetwork(), spec, m, core.Options{Timeout: 60 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	me, err := mapreduce.NewEngine(fs, spec, m, mapreduce.Options{LocalityAware: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Core: ce, MR: me, FS: fs, M: m, Spec: spec}, nil
+}
+
+// At returns a node id records can be read/written at.
+func (e *Env) At() string { return e.Spec.IDs()[0] }
+
+// ReadDir collects every record under dir (a part-file directory) into a
+// key→value map.
+func (e *Env) ReadDir(dir string) (map[any]any, error) {
+	out := map[any]any{}
+	for _, p := range e.FS.List(dir + "/") {
+		recs, err := e.FS.ReadFile(p, e.At())
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			out[r.Key] = r.Value
+		}
+	}
+	return out, nil
+}

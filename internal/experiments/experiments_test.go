@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment at the Quick
+// configuration and sanity-checks the figures.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	cfg := Quick()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			fig, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fig.ID != e.ID {
+				t.Fatalf("figure id %q for experiment %q", fig.ID, e.ID)
+			}
+			if len(fig.Series) == 0 && len(fig.Notes) == 0 {
+				t.Fatal("empty figure")
+			}
+			for _, s := range fig.Series {
+				if len(s.X) != len(s.Y) {
+					t.Fatalf("series %q has mismatched lengths", s.Label)
+				}
+				for _, y := range s.Y {
+					if y < 0 {
+						t.Fatalf("series %q has negative value %v", s.Label, y)
+					}
+				}
+			}
+			var buf bytes.Buffer
+			fig.Render(&buf)
+			if !strings.Contains(buf.String(), fig.ID) {
+				t.Fatal("render lost the figure id")
+			}
+		})
+	}
+}
+
+// TestGraphFigureShape checks the paper's curve ordering on Fig. 4:
+// MapReduce ≥ MapReduce(ex. init.) ≥ iMapReduce(sync.) ≥ iMapReduce at
+// the final iteration.
+func TestGraphFigureShape(t *testing.T) {
+	// The curve ordering needs realistic data volumes: run at the
+	// default scale with fewer iterations.
+	cfg := Default()
+	cfg.SSSPIters = 6
+	fig, err := Fig04(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("want 4 curves, got %d", len(fig.Series))
+	}
+	finals := make([]float64, 4)
+	for i, s := range fig.Series {
+		finals[i] = s.Y[len(s.Y)-1]
+	}
+	if !(finals[0] > finals[1]) {
+		t.Errorf("MapReduce (%.3f) should exceed ex-init (%.3f)", finals[0], finals[1])
+	}
+	if !(finals[1] > finals[3]) {
+		t.Errorf("MapReduce ex-init (%.3f) should exceed iMapReduce (%.3f)", finals[1], finals[3])
+	}
+	if !(finals[2] >= finals[3]*0.9) {
+		t.Errorf("sync iMapReduce (%.3f) implausibly below async (%.3f)", finals[2], finals[3])
+	}
+	// Cumulative curves increase.
+	for _, s := range fig.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Fatalf("series %q not cumulative", s.Label)
+			}
+		}
+	}
+}
+
+// TestRegistryCoversEveryPaperExperiment guards the experiment set: all
+// of the paper's evaluation tables and figures must stay registered.
+func TestRegistryCoversEveryPaperExperiment(t *testing.T) {
+	want := []string{
+		"table1", "table2",
+		"fig04", "fig05", "fig06", "fig07", // local-cluster SSSP/PageRank
+		"fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", // EC2
+		"fig16", "fig18", "fig20", // K-means, matrix power, aux phase
+	}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("registry[%d] = %q, want %q", i, got[i].ID, id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig08"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	fig := &Figure{
+		ID: "figx", XLabel: "iter",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{1.5, 2.5}},
+			{Label: "b", X: []float64{2}, Y: []float64{9}},
+		},
+	}
+	dir := t.TempDir()
+	if err := fig.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figx.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	want := "iter,a,b\n1,1.5,\n2,2.5,9\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+	// A series-less figure writes nothing.
+	if err := (&Figure{ID: "empty"}).WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "empty.csv")); err == nil {
+		t.Fatal("empty figure produced a csv")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	fig := &Figure{
+		ID: "x", Title: "t", XLabel: "iter",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{1.5, 2.5}},
+			{Label: "b", X: []float64{1}, Y: []float64{9}},
+		},
+	}
+	fig.Note("hello %d", 7)
+	var buf bytes.Buffer
+	fig.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"iter", "a", "b", "1.50", "9.00", "hello 7", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

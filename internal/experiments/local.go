@@ -1,0 +1,411 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"imapreduce/internal/algorithms/kmeans"
+	"imapreduce/internal/algorithms/matpower"
+	"imapreduce/internal/algorithms/pagerank"
+	"imapreduce/internal/algorithms/sssp"
+	"imapreduce/internal/cluster"
+	"imapreduce/internal/core"
+	"imapreduce/internal/dfs"
+	"imapreduce/internal/graph"
+	"imapreduce/internal/mapreduce"
+	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
+)
+
+// env is one fresh local cluster (both engines share DFS and metrics so
+// cross-engine comparisons read one counter set per run).
+type env struct {
+	core *core.Engine
+	mr   *mapreduce.Engine
+	fs   *dfs.DFS
+	m    *metrics.Set
+	spec cluster.Spec
+}
+
+func newEnv(cfg Config) (*env, error) {
+	spec := cluster.Uniform(cfg.Workers)
+	spec.JobInitOverhead = cfg.JobInit
+	spec.TaskStartOverhead = cfg.TaskStart
+	m := metrics.NewSet()
+	fs := dfs.New(dfs.Config{BlockSize: 1 << 20, Replication: 2}, spec.IDs(), m)
+	ce, err := core.NewEngine(fs, transport.NewChanNetwork(), spec, m, core.Options{Timeout: 5 * time.Minute})
+	if err != nil {
+		return nil, err
+	}
+	me, err := mapreduce.NewEngine(fs, spec, m, mapreduce.Options{LocalityAware: true})
+	if err != nil {
+		return nil, err
+	}
+	return &env{core: ce, mr: me, fs: fs, m: m, spec: spec}, nil
+}
+
+func (e *env) at() string { return e.spec.IDs()[0] }
+
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// cumulativeSeries turns per-iteration completion timestamps into a
+// cumulative running-time curve.
+func perIterSeries(label string, per []core.IterInfo) Series {
+	s := Series{Label: label}
+	for _, it := range per {
+		s.X = append(s.X, float64(it.Iter))
+		s.Y = append(s.Y, secs(it.CompletedAt))
+	}
+	return s
+}
+
+// runGraphFigure produces the four curves of Figs. 4–7 for one dataset:
+// MapReduce, MapReduce (ex. init.), iMapReduce (sync.), iMapReduce.
+func runGraphFigure(cfg Config, id, title, dataset, algo string, iters int, paperNote string) (*Figure, error) {
+	d, err := graph.ByName(dataset, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	g := d.Build()
+	fig := &Figure{ID: id, Title: title, XLabel: "iterations", YLabel: "cumulative running time (s)"}
+
+	// Baseline chain.
+	envMR, err := newEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var iterStats []mapreduce.IterStats
+	switch algo {
+	case "sssp":
+		if err := envMR.fs.WriteFile("/in", envMR.at(), sssp.CombinedPairs(g, 0), sssp.CombinedOps()); err != nil {
+			return nil, err
+		}
+		res, err := mapreduce.RunIterative(envMR.mr, sssp.MRSpec("mr-"+dataset, "/in", "/work", cfg.Workers, iters, 0))
+		if err != nil {
+			return nil, err
+		}
+		iterStats = res.Stats
+	case "pagerank":
+		if err := envMR.fs.WriteFile("/in", envMR.at(), pagerank.CombinedPairs(g), pagerank.CombinedOps()); err != nil {
+			return nil, err
+		}
+		res, err := mapreduce.RunIterative(envMR.mr, pagerank.MRSpec("mr-"+dataset, "/in", "/work", g.N, cfg.Workers, iters, 0))
+		if err != nil {
+			return nil, err
+		}
+		iterStats = res.Stats
+	}
+	mrCurve := Series{Label: "MapReduce"}
+	mrExInit := Series{Label: "MapReduce (ex. init.)"}
+	for _, st := range iterStats {
+		mrCurve.X = append(mrCurve.X, float64(st.Iteration))
+		mrCurve.Y = append(mrCurve.Y, secs(st.CumulativeWall))
+		mrExInit.X = append(mrExInit.X, float64(st.Iteration))
+		mrExInit.Y = append(mrExInit.Y, secs(st.CumulativeExInit))
+	}
+
+	// iMapReduce, synchronous then asynchronous.
+	runIMR := func(sync bool) ([]core.IterInfo, time.Duration, error) {
+		e, err := newEnv(cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		var job *core.Job
+		switch algo {
+		case "sssp":
+			if err := sssp.WriteInputs(e.fs, e.at(), g, 0, "/static", "/state"); err != nil {
+				return nil, 0, err
+			}
+			job = sssp.IMRJob(sssp.IMRConfig{
+				Name:       fmt.Sprintf("imr-%s-sync%v", dataset, sync),
+				StaticPath: "/static", StatePath: "/state",
+				MaxIter: iters, SyncMap: sync,
+			})
+		case "pagerank":
+			if err := pagerank.WriteInputs(e.fs, e.at(), g, "/static", "/state"); err != nil {
+				return nil, 0, err
+			}
+			job = pagerank.IMRJob(pagerank.IMRConfig{
+				Name:  fmt.Sprintf("imr-%s-sync%v", dataset, sync),
+				Nodes: g.N, StaticPath: "/static", StatePath: "/state",
+				MaxIter: iters, SyncMap: sync,
+			})
+		}
+		res, err := e.core.Run(job)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.PerIter, res.TotalWall, nil
+	}
+	syncPer, _, err := runIMR(true)
+	if err != nil {
+		return nil, err
+	}
+	asyncPer, asyncTotal, err := runIMR(false)
+	if err != nil {
+		return nil, err
+	}
+
+	fig.Series = []Series{
+		mrCurve, mrExInit,
+		perIterSeries("iMapReduce (sync.)", syncPer),
+		perIterSeries("iMapReduce", asyncPer),
+	}
+	mrTotal := mrCurve.Y[len(mrCurve.Y)-1]
+	fig.Note("dataset %s: %d nodes, %d edges (paper: %d nodes, scale 1/%d)", d.Name, g.N, g.Edges(), d.PaperNodes, cfg.Scale)
+	fig.Note("measured speedup iMapReduce over MapReduce: %.2fx", mrTotal/secs(asyncTotal))
+	fig.Note("paper: %s", paperNote)
+	return fig, nil
+}
+
+// Fig04 — SSSP on the DBLP author cooperation graph (paper Fig. 4).
+func Fig04(cfg Config) (*Figure, error) {
+	return runGraphFigure(cfg, "fig04", "SSSP running time on DBLP-like graph",
+		"dblp", "sssp", cfg.SSSPIters,
+		"2–3x speedup over Hadoop; ~20% saved by one-time init, ~15% by async maps, ~20% by avoiding static shuffle")
+}
+
+// Fig05 — SSSP on the Facebook user interaction graph (paper Fig. 5).
+func Fig05(cfg Config) (*Figure, error) {
+	return runGraphFigure(cfg, "fig05", "SSSP running time on Facebook-like graph",
+		"facebook", "sssp", cfg.SSSPIters,
+		"2–3x speedup over Hadoop")
+}
+
+// Fig06 — PageRank on the Google webgraph (paper Fig. 6).
+func Fig06(cfg Config) (*Figure, error) {
+	return runGraphFigure(cfg, "fig06", "PageRank running time on Google-like webgraph",
+		"google", "pagerank", cfg.PageRankIters,
+		"~2x speedup; ~10% init, ~30% static shuffle, ~10% async")
+}
+
+// Fig07 — PageRank on the Berkeley-Stanford webgraph (paper Fig. 7).
+func Fig07(cfg Config) (*Figure, error) {
+	return runGraphFigure(cfg, "fig07", "PageRank running time on BerkStan-like webgraph",
+		"berkstan", "pagerank", cfg.PageRankIters,
+		"~2x speedup")
+}
+
+// Fig16 — K-means on the Last.fm-like dataset, with and without
+// Combiner (paper Fig. 16 and §5.1.3).
+func Fig16(cfg Config) (*Figure, error) {
+	points, cents := kmeans.Generate(kmeans.DataConfig{
+		Users: cfg.KMeansUsers, Dim: cfg.KMeansDim, K: cfg.KMeansK, Seed: 42, Spread: 0.6,
+	})
+	fig := &Figure{ID: "fig16", Title: "K-means running time on Last.fm-like data",
+		XLabel: "iterations", YLabel: "cumulative running time (s)"}
+
+	runMR := func(comb bool) ([]kmeans.MRIterStats, float64, int64, error) {
+		e, err := newEnv(cfg)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if err := e.fs.WriteFile("/points", e.at(), points, kmeans.PointOps()); err != nil {
+			return nil, 0, 0, err
+		}
+		res, err := kmeans.RunMR(e.mr, kmeans.MRConfig{
+			Name: "km-mr", PointsPath: "/points", WorkDir: "/work",
+			Centroids: cents, NumReduce: cfg.Workers, MaxIter: cfg.KMeansIters, UseCombiner: comb,
+		})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		var total float64
+		for _, st := range res.Stats {
+			total += float64(st.JobWall+st.CheckWall) / 1e9
+		}
+		return res.Stats, total, e.m.Get(metrics.ShuffleBytes), nil
+	}
+	runIMR := func(comb bool) ([]core.IterInfo, float64, int64, error) {
+		e, err := newEnv(cfg)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if err := kmeans.WriteInputs(e.fs, e.at(), points, cents, "/points", "/cents"); err != nil {
+			return nil, 0, 0, err
+		}
+		res, err := e.core.Run(kmeans.IMRJob(kmeans.IMRConfig{
+			Name: fmt.Sprintf("km-imr-%v", comb), StaticPath: "/points", StatePath: "/cents",
+			MaxIter: cfg.KMeansIters, UseCombiner: comb,
+		}))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return res.PerIter, secs(res.TotalWall), e.m.Get(metrics.ShuffleBytes), nil
+	}
+
+	mrStats, mrTotal, mrShuffle, err := runMR(false)
+	if err != nil {
+		return nil, err
+	}
+	imrPer, imrTotal, imrShuffle, err := runIMR(false)
+	if err != nil {
+		return nil, err
+	}
+	_, mrCombTotal, mrCombShuffle, err := runMR(true)
+	if err != nil {
+		return nil, err
+	}
+	_, imrCombTotal, imrCombShuffle, err := runIMR(true)
+	if err != nil {
+		return nil, err
+	}
+
+	mrCurve := Series{Label: "MapReduce"}
+	var cum float64
+	for _, st := range mrStats {
+		cum += float64(st.JobWall) / 1e9
+		mrCurve.X = append(mrCurve.X, float64(st.Iteration))
+		mrCurve.Y = append(mrCurve.Y, cum)
+	}
+	fig.Series = []Series{mrCurve, perIterSeries("iMapReduce", imrPer)}
+	fig.Note("measured speedup: %.2fx (paper: ~1.2x — K-means must shuffle points and run maps synchronously)", mrTotal/imrTotal)
+	fig.Note("with Combiner: MapReduce %.2fs → %.2fs, shuffle %.1fMB → %.1fMB (%.0f%% less); iMapReduce %.2fs → %.2fs, shuffle %.1fMB → %.1fMB (%.0f%% less)",
+		mrTotal, mrCombTotal, mbf(mrShuffle), mbf(mrCombShuffle), 100*(1-float64(mrCombShuffle)/float64(mrShuffle)),
+		imrTotal, imrCombTotal, mbf(imrShuffle), mbf(imrCombShuffle), 100*(1-float64(imrCombShuffle)/float64(imrShuffle)))
+	fig.Note("paper: Combiner cut Hadoop 2881s → 2226s (23%%) and iMapReduce 2338s → 1733s (26%%); the in-process substrate shows the saving mostly in shuffle volume")
+	return fig, nil
+}
+
+// Fig18 — matrix power computation, two map-reduce phases per iteration
+// (paper Fig. 18).
+func Fig18(cfg Config) (*Figure, error) {
+	m := matpower.Random(cfg.MatrixN, 7)
+	fig := &Figure{ID: "fig18", Title: fmt.Sprintf("Matrix power (%dx%d) running time", cfg.MatrixN, cfg.MatrixN),
+		XLabel: "iterations", YLabel: "cumulative running time (s)"}
+
+	envMR, err := newEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := envMR.fs.WriteFile("/m", envMR.at(), matpower.StatePairs(m), matpower.EntryOps()); err != nil {
+		return nil, err
+	}
+	mrRes, err := matpower.RunMR(envMR.mr, "mp-mr", "/m", m, "/work", cfg.Workers, cfg.MatrixIters)
+	if err != nil {
+		return nil, err
+	}
+	mrCurve := Series{Label: "MapReduce"}
+	var cum float64
+	for i, wall := range mrRes.Walls {
+		cum += float64(wall) / 1e9
+		mrCurve.X = append(mrCurve.X, float64(i+1))
+		mrCurve.Y = append(mrCurve.Y, cum)
+	}
+
+	envIMR, err := newEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := matpower.WriteInputs(envIMR.fs, envIMR.at(), m, "/static", "/state"); err != nil {
+		return nil, err
+	}
+	imrRes, err := envIMR.core.Run(matpower.IMRJob(matpower.IMRConfig{
+		Name: "mp-imr", StaticPath: "/static", StatePath: "/state", MaxIter: cfg.MatrixIters,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = []Series{mrCurve, perIterSeries("iMapReduce", imrRes.PerIter)}
+	fig.Note("measured speedup: %.2fx (paper: ~1.1x — intermediate shuffle between the two phases dominates)",
+		cum/secs(imrRes.TotalWall))
+	return fig, nil
+}
+
+// Fig20 — K-means with convergence detection via the auxiliary phase
+// vs the baseline's extra check job per iteration (paper Fig. 20).
+func Fig20(cfg Config) (*Figure, error) {
+	// Random centroid initialization plus overlapping clusters make
+	// Lloyd's take several iterations to settle, as on the paper's
+	// Last.fm data.
+	points, _ := kmeans.Generate(kmeans.DataConfig{
+		Users: cfg.KMeansUsers, Dim: cfg.KMeansDim, K: cfg.KMeansK, Seed: 43, Spread: 1.2,
+	})
+	cents := kmeans.RandomInitCentroids(points, cfg.KMeansK, 99)
+	moveThreshold := int64(cfg.KMeansUsers/200 + 1)
+	fig := &Figure{ID: "fig20", Title: "K-means with convergence detection",
+		XLabel: "iterations", YLabel: "cumulative running time (s)"}
+
+	envMR, err := newEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := envMR.fs.WriteFile("/points", envMR.at(), points, kmeans.PointOps()); err != nil {
+		return nil, err
+	}
+	mrRes, err := kmeans.RunMR(envMR.mr, kmeans.MRConfig{
+		Name: "km-conv-mr", PointsPath: "/points", WorkDir: "/work",
+		Centroids: cents, NumReduce: cfg.Workers, MaxIter: 40, MoveThreshold: moveThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mrCurve := Series{Label: "MapReduce (with check job)"}
+	var cum float64
+	for _, st := range mrRes.Stats {
+		cum += float64(st.JobWall+st.CheckWall) / 1e9
+		mrCurve.X = append(mrCurve.X, float64(st.Iteration))
+		mrCurve.Y = append(mrCurve.Y, cum)
+	}
+
+	envIMR, err := newEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := kmeans.WriteInputs(envIMR.fs, envIMR.at(), points, cents, "/points", "/cents"); err != nil {
+		return nil, err
+	}
+	imrRes, err := envIMR.core.Run(kmeans.IMRJob(kmeans.IMRConfig{
+		Name: "km-conv-imr", StaticPath: "/points", StatePath: "/cents",
+		MaxIter: 40, MoveThreshold: moveThreshold,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = []Series{mrCurve, perIterSeries("iMapReduce (aux phase)", imrRes.PerIter)}
+	fig.Note("baseline converged after %d iterations (%.2fs); iMapReduce after %d (%.2fs): %.0f%% time reduction",
+		mrRes.Iterations, cum, imrRes.Iterations, secs(imrRes.TotalWall),
+		100*(1-secs(imrRes.TotalWall)/cum))
+	fig.Note("paper: 25%% reduction, terminating after 6 iterations — the auxiliary phase runs in parallel instead of as a chained job")
+	return fig, nil
+}
+
+// Table1 and Table2 regenerate the dataset-statistics tables at the
+// configured scale.
+func datasetTable(cfg Config, id, title string, table int) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title}
+	for _, d := range graph.Catalog(cfg.Scale) {
+		if d.Table != table {
+			continue
+		}
+		g := d.Build()
+		st := g.StatsOf()
+		fig.Note("%-12s nodes=%-9d edges=%-10d est.size=%s (paper: %d nodes, %d edges)",
+			d.Name, st.Nodes, st.Edges, fmtBytes(st.EstBytes), d.PaperNodes, d.PaperEdges)
+	}
+	fig.Note("generated with the paper's log-normal parameters at scale 1/%d", cfg.Scale)
+	return fig, nil
+}
+
+// Table1 — SSSP dataset statistics (paper Table 1).
+func Table1(cfg Config) (*Figure, error) {
+	return datasetTable(cfg, "table1", "SSSP data sets statistics", 1)
+}
+
+// Table2 — PageRank dataset statistics (paper Table 2).
+func Table2(cfg Config) (*Figure, error) {
+	return datasetTable(cfg, "table2", "PageRank data sets statistics", 2)
+}
+
+func mbf(b int64) float64 { return float64(b) / (1 << 20) }
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%dKB", b/1024)
+	}
+}

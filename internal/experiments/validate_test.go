@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"imapreduce/internal/graph"
+	"imapreduce/internal/simcluster"
+)
+
+// TestSimulatorRealEngineConsistency cross-checks the cost model against
+// the real engines: both must agree on the paper's qualitative claims —
+// iMapReduce beats the baseline, and removing initialization narrows but
+// does not close the gap. (Absolute ratios differ by design: the
+// simulator models 2011 EC2 constants, the real engines run in-process.)
+func TestSimulatorRealEngineConsistency(t *testing.T) {
+	// Real engines, quick configuration, SSSP on the facebook dataset.
+	cfg := Quick()
+	cfg.Scale = 400 // ~3k nodes: fast but not noise-dominated
+	cfg.SSSPIters = 6
+	fig, err := runGraphFigure(cfg, "validate", "validation", "facebook", "sssp", cfg.SSSPIters, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := map[string]float64{}
+	for _, s := range fig.Series {
+		finals[s.Label] = s.Y[len(s.Y)-1]
+	}
+	realRatio := finals["iMapReduce"] / finals["MapReduce"]
+	if realRatio >= 0.9 {
+		t.Fatalf("real engines: iMR/MR ratio %.2f — no advantage measured", realRatio)
+	}
+	if finals["MapReduce (ex. init.)"] >= finals["MapReduce"] {
+		t.Fatal("real engines: removing init did not reduce baseline time")
+	}
+
+	// Simulator, same workload family.
+	d, err := graph.ByName("sssp-s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simcluster.SSSPWorkload(d)
+	p := simcluster.DefaultParams(20)
+	simMR := simcluster.SimulateMR(p, w, 10)
+	simIMR := simcluster.SimulateIMR(p, w, 10, simcluster.IMROptions{})
+	simRatio := simIMR.TotalSec / simMR.TotalSec
+	if simRatio >= 0.9 {
+		t.Fatalf("simulator: iMR/MR ratio %.2f — no advantage modeled", simRatio)
+	}
+	if simMR.InitSec >= simMR.TotalSec {
+		t.Fatal("simulator: init exceeds total")
+	}
+	// Both substrates agree on the direction and the rough regime.
+	if (realRatio < 1) != (simRatio < 1) {
+		t.Fatalf("substrates disagree: real %.2f vs sim %.2f", realRatio, simRatio)
+	}
+	t.Logf("real iMR/MR = %.2f, simulated iMR/MR = %.2f", realRatio, simRatio)
+}

@@ -1,0 +1,46 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := GenConfig{Nodes: 50000, Degree: SSSPDegree, Weighted: true, Weight: SSSPWeight, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := Generate(cfg)
+		b.ReportMetric(float64(g.Edges()), "edges")
+	}
+}
+
+func BenchmarkSaveLoad(b *testing.B) {
+	g := Generate(GenConfig{Nodes: 10000, Degree: PageRankDegree, Seed: 2})
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNeighborsScan(b *testing.B) {
+	g := Generate(GenConfig{Nodes: 100000, Degree: SSSPDegree, Weighted: true, Weight: SSSPWeight, Seed: 3})
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for u := int32(0); u < int32(g.N); u++ {
+			_, w := g.Neighbors(u)
+			for _, x := range w {
+				sink += float64(x)
+			}
+		}
+	}
+	_ = sink
+}

@@ -1,0 +1,161 @@
+// Package graph provides the graph substrate the evaluated algorithms
+// run on: compact CSR adjacency storage, the text interchange format the
+// tools read and write, log-normal synthetic generators with the
+// parameters the paper extracts from its real graphs, and conversion to
+// the kv records the engines consume.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a directed graph in CSR (compressed sparse row) form. Nodes
+// are 0..N-1. W is nil for unweighted graphs, otherwise parallel to Dst.
+type Graph struct {
+	N   int
+	Off []int64
+	Dst []int32
+	W   []float32
+}
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.W != nil }
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int64 { return int64(len(g.Dst)) }
+
+// OutDegree returns node u's out-degree.
+func (g *Graph) OutDegree(u int32) int {
+	return int(g.Off[u+1] - g.Off[u])
+}
+
+// Neighbors returns node u's outgoing edge targets and weights (weights
+// nil for unweighted graphs). The slices alias the graph's storage and
+// must not be mutated.
+func (g *Graph) Neighbors(u int32) ([]int32, []float32) {
+	lo, hi := g.Off[u], g.Off[u+1]
+	if g.W == nil {
+		return g.Dst[lo:hi], nil
+	}
+	return g.Dst[lo:hi], g.W[lo:hi]
+}
+
+// Builder accumulates edges and produces a CSR graph.
+type Builder struct {
+	n        int
+	weighted bool
+	src      []int32
+	dst      []int32
+	w        []float32
+}
+
+// NewBuilder creates a builder for n nodes.
+func NewBuilder(n int, weighted bool) *Builder {
+	return &Builder{n: n, weighted: weighted}
+}
+
+// AddEdge adds a directed edge u→v. The weight is ignored for
+// unweighted builders.
+func (b *Builder) AddEdge(u, v int32, w float32) {
+	if int(u) >= b.n || int(v) >= b.n || u < 0 || v < 0 {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range for %d nodes", u, v, b.n))
+	}
+	b.src = append(b.src, u)
+	b.dst = append(b.dst, v)
+	if b.weighted {
+		b.w = append(b.w, w)
+	}
+}
+
+// Build produces the CSR graph. Edges are ordered by source, preserving
+// insertion order within a source.
+func (b *Builder) Build() *Graph {
+	g := &Graph{N: b.n, Off: make([]int64, b.n+1)}
+	for _, u := range b.src {
+		g.Off[u+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.Off[i+1] += g.Off[i]
+	}
+	g.Dst = make([]int32, len(b.dst))
+	if b.weighted {
+		g.W = make([]float32, len(b.dst))
+	}
+	pos := make([]int64, b.n)
+	copy(pos, g.Off[:b.n])
+	for i, u := range b.src {
+		p := pos[u]
+		pos[u]++
+		g.Dst[p] = b.dst[i]
+		if b.weighted {
+			g.W[p] = b.w[i]
+		}
+	}
+	return g
+}
+
+// Stats summarizes a graph the way the paper's dataset tables do.
+type Stats struct {
+	Nodes    int
+	Edges    int64
+	EstBytes int64 // estimated text-format file size
+}
+
+// StatsOf computes dataset statistics. The byte estimate prices each
+// node line at 8 bytes plus ~8 bytes per weighted edge (id + weight
+// digits) or ~7 per unweighted edge, approximating the paper's file
+// sizes.
+func (g *Graph) StatsOf() Stats {
+	per := int64(7)
+	if g.Weighted() {
+		per = 13
+	}
+	return Stats{
+		Nodes:    g.N,
+		Edges:    g.Edges(),
+		EstBytes: int64(g.N)*8 + g.Edges()*per,
+	}
+}
+
+// InDegrees computes the in-degree of every node (used by tests and the
+// sequential PageRank reference).
+func (g *Graph) InDegrees() []int {
+	in := make([]int, g.N)
+	for _, v := range g.Dst {
+		in[v]++
+	}
+	return in
+}
+
+// SortAdjacency orders each node's adjacency list by target id, making
+// graphs generated from unordered edge sets canonical. Weights follow
+// their edges.
+func (g *Graph) SortAdjacency() {
+	for u := 0; u < g.N; u++ {
+		lo, hi := g.Off[u], g.Off[u+1]
+		if hi-lo < 2 {
+			continue
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = int(lo) + i
+		}
+		sort.Slice(idx, func(a, b int) bool { return g.Dst[idx[a]] < g.Dst[idx[b]] })
+		dst := make([]int32, len(idx))
+		var w []float32
+		if g.W != nil {
+			w = make([]float32, len(idx))
+		}
+		for i, j := range idx {
+			dst[i] = g.Dst[j]
+			if w != nil {
+				w[i] = g.W[j]
+			}
+		}
+		copy(g.Dst[lo:hi], dst)
+		if w != nil {
+			copy(g.W[lo:hi], w)
+		}
+	}
+}

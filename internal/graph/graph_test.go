@@ -1,0 +1,290 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderCSR(t *testing.T) {
+	b := NewBuilder(4, true)
+	b.AddEdge(0, 1, 1.5)
+	b.AddEdge(0, 2, 2.5)
+	b.AddEdge(2, 3, 0.5)
+	b.AddEdge(3, 0, 4.0)
+	g := b.Build()
+	if g.N != 4 || g.Edges() != 4 || !g.Weighted() {
+		t.Fatalf("bad graph: N=%d E=%d", g.N, g.Edges())
+	}
+	dst, w := g.Neighbors(0)
+	if len(dst) != 2 || dst[0] != 1 || dst[1] != 2 || w[0] != 1.5 || w[1] != 2.5 {
+		t.Fatalf("node 0 adjacency wrong: %v %v", dst, w)
+	}
+	if g.OutDegree(1) != 0 {
+		t.Fatalf("node 1 degree = %d", g.OutDegree(1))
+	}
+	dst, _ = g.Neighbors(3)
+	if len(dst) != 1 || dst[0] != 0 {
+		t.Fatalf("node 3 adjacency wrong: %v", dst)
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2, false).AddEdge(0, 5, 0)
+}
+
+func TestInDegrees(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.AddEdge(0, 2, 0)
+	b.AddEdge(1, 2, 0)
+	b.AddEdge(2, 0, 0)
+	g := b.Build()
+	in := g.InDegrees()
+	if in[0] != 1 || in[1] != 0 || in[2] != 2 {
+		t.Fatalf("in-degrees: %v", in)
+	}
+}
+
+func TestSortAdjacency(t *testing.T) {
+	b := NewBuilder(2, true)
+	b.AddEdge(0, 1, 10)
+	b.AddEdge(0, 0, 20) // self edges allowed at the structure level
+	g := b.Build()
+	g.SortAdjacency()
+	dst, w := g.Neighbors(0)
+	if dst[0] != 0 || dst[1] != 1 || w[0] != 20 || w[1] != 10 {
+		t.Fatalf("sort broke weight pairing: %v %v", dst, w)
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	g := Generate(GenConfig{Nodes: 2000, Degree: SSSPDegree, Weighted: true, Weight: SSSPWeight, Seed: 7})
+	if g.N != 2000 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if !g.Weighted() {
+		t.Fatal("expected weighted graph")
+	}
+	avg := float64(g.Edges()) / float64(g.N)
+	// Log-normal(1.5, 1.0) mean is exp(2) ≈ 7.39; duplicates/self-loops
+	// are dropped, so expect a bit under that.
+	if avg < 4 || avg > 9 {
+		t.Fatalf("average degree %.2f outside expected range", avg)
+	}
+	for u := int32(0); u < int32(g.N); u++ {
+		dst, w := g.Neighbors(u)
+		seen := map[int32]bool{}
+		for i, v := range dst {
+			if v == u {
+				t.Fatalf("self loop at %d", u)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate edge %d->%d", u, v)
+			}
+			seen[v] = true
+			if w[i] <= 0 {
+				t.Fatalf("non-positive weight %f", w[i])
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Nodes: 500, Degree: SSSPDegree, Weighted: true, Weight: SSSPWeight, Seed: 3}
+	a, b := Generate(cfg), Generate(cfg)
+	if a.Edges() != b.Edges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.Edges(), b.Edges())
+	}
+	for i := range a.Dst {
+		if a.Dst[i] != b.Dst[i] || a.W[i] != b.W[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := Generate(GenConfig{Nodes: 500, Degree: SSSPDegree, Weighted: true, Weight: SSSPWeight, Seed: 4})
+	if c.Edges() == a.Edges() {
+		diff := false
+		for i := range a.Dst {
+			if a.Dst[i] != c.Dst[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGenerateMaxDegreeCap(t *testing.T) {
+	g := Generate(GenConfig{Nodes: 100, Degree: LogNormalParams{Sigma: 2, Mu: 3}, Seed: 1, MaxDegree: 5})
+	for u := int32(0); u < int32(g.N); u++ {
+		if g.OutDegree(u) > 5 {
+			t.Fatalf("node %d degree %d exceeds cap", u, g.OutDegree(u))
+		}
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := SSSPDegree
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += p.Sample(rng)
+	}
+	got := sum / n
+	if math.Abs(got-p.Mean())/p.Mean() > 0.1 {
+		t.Fatalf("sample mean %.3f, analytic %.3f", got, p.Mean())
+	}
+}
+
+func TestWithMean(t *testing.T) {
+	f := func(m float64) bool {
+		m = 1 + math.Mod(math.Abs(m), 50)
+		p := LogNormalParams{Sigma: 1.3}.WithMean(m)
+		return math.Abs(p.Mean()-m) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	cat := Catalog(DefaultScale)
+	if len(cat) != 10 {
+		t.Fatalf("catalog has %d datasets, want 10", len(cat))
+	}
+	names := map[string]bool{}
+	for _, d := range cat {
+		if names[d.Name] {
+			t.Fatalf("duplicate dataset %s", d.Name)
+		}
+		names[d.Name] = true
+		if d.Nodes <= 0 || d.Nodes > d.PaperNodes {
+			t.Fatalf("%s: bad scaled node count %d", d.Name, d.Nodes)
+		}
+		if d.Table == 1 && !d.Cfg.Weighted {
+			t.Fatalf("%s: SSSP dataset must be weighted", d.Name)
+		}
+		if d.Table == 2 && d.Cfg.Weighted {
+			t.Fatalf("%s: PageRank dataset must be unweighted", d.Name)
+		}
+	}
+	if _, err := ByName("dblp", DefaultScale); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope", DefaultScale); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCatalogEdgeRatios(t *testing.T) {
+	// Scaled datasets should roughly preserve the paper's edge/node
+	// ratios, which is what the shuffle-volume experiments depend on.
+	for _, d := range Catalog(1000) {
+		g := d.Build()
+		want := float64(d.PaperEdges) / float64(d.PaperNodes)
+		got := float64(g.Edges()) / float64(g.N)
+		if got < want*0.4 || got > want*1.6 {
+			t.Errorf("%s: edge/node ratio %.2f, paper %.2f", d.Name, got, want)
+		}
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	for _, weighted := range []bool{true, false} {
+		g := Generate(GenConfig{Nodes: 300, Degree: SSSPDegree, Weighted: weighted, Weight: SSSPWeight, Seed: 9})
+		var buf bytes.Buffer
+		if err := Save(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.N != g.N || g2.Edges() != g.Edges() || g2.Weighted() != weighted {
+			t.Fatalf("roundtrip changed shape: N %d->%d E %d->%d", g.N, g2.N, g.Edges(), g2.Edges())
+		}
+		for u := int32(0); u < int32(g.N); u++ {
+			d1, w1 := g.Neighbors(u)
+			d2, w2 := g2.Neighbors(u)
+			if len(d1) != len(d2) {
+				t.Fatalf("node %d degree changed", u)
+			}
+			for i := range d1 {
+				if d1[i] != d2[i] {
+					t.Fatalf("node %d edge %d changed", u, i)
+				}
+				if weighted && math.Abs(float64(w1[i]-w2[i])) > 1e-5 {
+					t.Fatalf("node %d weight %d changed: %f vs %f", u, i, w1[i], w2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"",       // empty
+		"x\t1 2", // bad id
+		"0\t1:a", // bad weight
+		"0\tfoo", // bad target
+	}
+	for _, c := range cases {
+		if _, err := Load(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("Load(%q) should fail", c)
+		}
+	}
+}
+
+func TestLoadIsolatedNodeLine(t *testing.T) {
+	g, err := Load(bytes.NewBufferString("0\t1\n1\t\n2\t0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.Edges() != 2 {
+		t.Fatalf("N=%d E=%d", g.N, g.Edges())
+	}
+}
+
+func TestStaticPairs(t *testing.T) {
+	g := Generate(GenConfig{Nodes: 50, Degree: SSSPDegree, Weighted: true, Weight: SSSPWeight, Seed: 5})
+	pairs := StaticPairs(g)
+	if len(pairs) != g.N {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	total := int64(0)
+	for i, p := range pairs {
+		if p.Key.(int64) != int64(i) {
+			t.Fatalf("pair %d has key %v", i, p.Key)
+		}
+		adj := p.Value.(Adj)
+		total += int64(len(adj.Dst))
+		if adj.Bytes() != 4+8*len(adj.Dst) {
+			t.Fatalf("Adj.Bytes wrong for weighted: %d", adj.Bytes())
+		}
+	}
+	if total != g.Edges() {
+		t.Fatalf("edges in pairs %d != %d", total, g.Edges())
+	}
+	// Unweighted sizes.
+	a := Adj{Dst: []int32{1, 2}}
+	if a.Bytes() != 12 {
+		t.Fatalf("unweighted Adj.Bytes = %d", a.Bytes())
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	g := Generate(GenConfig{Nodes: 100, Degree: SSSPDegree, Weighted: true, Weight: SSSPWeight, Seed: 2})
+	st := g.StatsOf()
+	if st.Nodes != 100 || st.Edges != g.Edges() || st.EstBytes <= st.Edges {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text interchange format, one line per node:
+//
+//	weighted:   "<u>\t<v1>:<w1> <v2>:<w2> ..."
+//	unweighted: "<u>\t<v1> <v2> ..."
+//
+// Nodes without outgoing edges still get a line so node counts survive a
+// round trip. This is the "particular formatted graph" input the paper's
+// prototype loads and partitions automatically.
+
+// Save writes g in text format.
+func Save(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for u := 0; u < g.N; u++ {
+		if _, err := fmt.Fprintf(bw, "%d\t", u); err != nil {
+			return err
+		}
+		dst, ws := g.Neighbors(int32(u))
+		for i, v := range dst {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if g.Weighted() {
+				if _, err := fmt.Fprintf(bw, "%d:%g", v, ws[i]); err != nil {
+					return err
+				}
+			} else {
+				if _, err := fmt.Fprintf(bw, "%d", v); err != nil {
+					return err
+				}
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load parses the text format. The graph is weighted if any edge has a
+// ":weight" suffix; node count is one plus the largest id seen.
+func Load(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	type edge struct {
+		u, v int32
+		w    float32
+	}
+	var edges []edge
+	maxID := int32(-1)
+	weighted := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		head, rest, _ := strings.Cut(line, "\t")
+		u64, err := strconv.ParseInt(strings.TrimSpace(head), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node id %q", lineNo, head)
+		}
+		u := int32(u64)
+		if u > maxID {
+			maxID = u
+		}
+		for _, tok := range strings.Fields(rest) {
+			vs, ws, hasW := strings.Cut(tok, ":")
+			v64, err := strconv.ParseInt(vs, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge target %q", lineNo, tok)
+			}
+			v := int32(v64)
+			if v > maxID {
+				maxID = v
+			}
+			var w float64
+			if hasW {
+				weighted = true
+				w, err = strconv.ParseFloat(ws, 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, tok)
+				}
+			}
+			edges = append(edges, edge{u, v, float32(w)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if maxID < 0 {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	b := NewBuilder(int(maxID)+1, weighted)
+	for _, e := range edges {
+		b.AddEdge(e.u, e.v, e.w)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,166 @@
+// Package imr is the front door of the framework: one Cluster owning
+// the DFS, the metrics, and both engines, mirroring the paper's
+// prototype, which "supports any Hadoop job" and lets users "turn on
+// iterative processing functionalities for implementing iterative
+// algorithms, or turn them off for implementing MapReduce jobs as
+// usual" (§3.5).
+//
+//	c, _ := imr.NewCluster(imr.Options{Workers: 4})
+//	c.RunJob(batchJob)         // plain MapReduce, Hadoop-style
+//	c.RunIterative(iterJob)    // iMapReduce persistent-task execution
+package imr
+
+import (
+	"fmt"
+	"time"
+
+	"imapreduce/internal/cluster"
+	"imapreduce/internal/core"
+	"imapreduce/internal/dfs"
+	"imapreduce/internal/kv"
+	"imapreduce/internal/mapreduce"
+	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
+)
+
+// Options configures a Cluster. The zero value gives 4 uniform workers,
+// an in-process transport, an in-memory DFS with the paper's block size
+// and replication, and Hadoop-like defaults everywhere else.
+type Options struct {
+	// Workers is the cluster size (default 4, the paper's local
+	// cluster).
+	Workers int
+	// Spec overrides the generated uniform spec entirely (Workers is
+	// then ignored).
+	Spec *cluster.Spec
+	// TCP uses real loopback sockets between tasks instead of
+	// in-process channels.
+	TCP bool
+	// DFS overrides the file system configuration.
+	DFS *dfs.Config
+	// JobInitOverhead / TaskStartOverhead emulate Hadoop scheduling
+	// costs (0 = free, the default).
+	JobInitOverhead   time.Duration
+	TaskStartOverhead time.Duration
+	// MapReduce tunes the baseline engine (locality scheduling defaults
+	// to on).
+	MapReduce *mapreduce.Options
+	// Core tunes the iMapReduce engine.
+	Core *core.Options
+	// Metrics receives the run counters (a fresh set by default).
+	Metrics *metrics.Set
+}
+
+// Cluster bundles one simulated cluster with both execution engines
+// over a shared DFS and metrics set.
+type Cluster struct {
+	Spec    cluster.Spec
+	FS      *dfs.DFS
+	Metrics *metrics.Set
+
+	mr   *mapreduce.Engine
+	core *core.Engine
+}
+
+// NewCluster builds a cluster from opts.
+func NewCluster(opts Options) (*Cluster, error) {
+	spec := cluster.Uniform(4)
+	if opts.Workers > 0 {
+		spec = cluster.Uniform(opts.Workers)
+	}
+	if opts.Spec != nil {
+		spec = *opts.Spec
+	}
+	spec.JobInitOverhead = opts.JobInitOverhead
+	spec.TaskStartOverhead = opts.TaskStartOverhead
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	m := opts.Metrics
+	if m == nil {
+		m = metrics.NewSet()
+	}
+	dcfg := dfs.DefaultConfig()
+	if opts.DFS != nil {
+		dcfg = *opts.DFS
+	}
+	fs := dfs.New(dcfg, spec.IDs(), m)
+
+	mrOpts := mapreduce.Options{LocalityAware: true}
+	if opts.MapReduce != nil {
+		mrOpts = *opts.MapReduce
+	}
+	mrEngine, err := mapreduce.NewEngine(fs, spec, m, mrOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	var net transport.Network = transport.NewChanNetwork()
+	if opts.TCP {
+		net = transport.NewTCPNetwork()
+	}
+	coreOpts := core.Options{}
+	if opts.Core != nil {
+		coreOpts = *opts.Core
+	}
+	coreEngine, err := core.NewEngine(fs, net, spec, m, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Spec: spec, FS: fs, Metrics: m, mr: mrEngine, core: coreEngine}, nil
+}
+
+// RunJob executes a plain batch MapReduce job (iterative features off).
+func (c *Cluster) RunJob(job *mapreduce.Job) (*mapreduce.JobResult, error) {
+	return c.mr.Submit(job)
+}
+
+// RunJobChain executes the baseline's iterative pattern: one job per
+// iteration plus convergence-check jobs, driven from the client.
+func (c *Cluster) RunJobChain(spec mapreduce.IterSpec) (*mapreduce.IterResult, error) {
+	return mapreduce.RunIterative(c.mr, spec)
+}
+
+// RunIterative executes an iMapReduce job (iterative features on):
+// persistent tasks, static/state separation, asynchronous maps.
+func (c *Cluster) RunIterative(job *core.Job) (*core.Result, error) {
+	return c.core.Run(job)
+}
+
+// MapReduceEngine exposes the baseline engine for advanced use.
+func (c *Cluster) MapReduceEngine() *mapreduce.Engine { return c.mr }
+
+// CoreEngine exposes the iMapReduce engine for advanced use.
+func (c *Cluster) CoreEngine() *core.Engine { return c.core }
+
+// FailWorker injects a worker crash into the active iterative run.
+func (c *Cluster) FailWorker(id string) error { return c.core.FailWorker(id) }
+
+// Write stores records as a DFS file at the first worker.
+func (c *Cluster) Write(path string, recs []kv.Pair, ops kv.Ops) error {
+	return c.FS.WriteFile(path, c.Spec.IDs()[0], recs, ops)
+}
+
+// ReadAll collects every record under a part-file directory (or a
+// single file) into a key→value map.
+func (c *Cluster) ReadAll(dir string) (map[any]any, error) {
+	paths := c.FS.List(dir + "/")
+	if len(paths) == 0 {
+		if !c.FS.Exists(dir) {
+			return nil, fmt.Errorf("imr: no output at %q", dir)
+		}
+		paths = []string{dir}
+	}
+	out := map[any]any{}
+	for _, p := range paths {
+		recs, err := c.FS.ReadFile(p, c.Spec.IDs()[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			out[r.Key] = r.Value
+		}
+	}
+	return out, nil
+}

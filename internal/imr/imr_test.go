@@ -1,0 +1,193 @@
+package imr
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"imapreduce/internal/cluster"
+	"imapreduce/internal/core"
+	"imapreduce/internal/dfs"
+	"imapreduce/internal/kv"
+	"imapreduce/internal/mapreduce"
+	"imapreduce/internal/metrics"
+)
+
+func TestBatchJob(t *testing.T) {
+	c, err := NewCluster(Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []kv.Pair{
+		{Key: int64(0), Value: "a b a"},
+		{Key: int64(1), Value: "b c"},
+	}
+	if err := c.Write("/in", recs, kv.OpsFor[int64, string](nil)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunJob(&mapreduce.Job{
+		Name: "wc", Input: []string{"/in"}, Output: "/out",
+		Map: func(key, value any, emit kv.Emit) error {
+			for _, w := range strings.Fields(value.(string)) {
+				emit(w, int64(1))
+			}
+			return nil
+		},
+		Reduce: func(key any, values []any, emit kv.Emit) error {
+			var n int64
+			for _, v := range values {
+				n += v.(int64)
+			}
+			emit(key, n)
+			return nil
+		},
+		NumReduce: 2,
+		Ops:       kv.OpsFor[string, int64](nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputRecords != 3 {
+		t.Fatalf("output records = %d", res.OutputRecords)
+	}
+	out, err := c.ReadAll("/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["a"] != int64(2) || out["b"] != int64(2) || out["c"] != int64(1) {
+		t.Fatalf("counts: %v", out)
+	}
+}
+
+func TestIterativeJob(t *testing.T) {
+	c, err := NewCluster(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []kv.Pair
+	for i := 0; i < 12; i++ {
+		recs = append(recs, kv.Pair{Key: int64(i), Value: 1.0})
+	}
+	if err := c.Write("/state", recs, kv.OpsFor[int64, float64](nil)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunIterative(&core.Job{
+		Name: "halve", StatePath: "/state", MaxIter: 5,
+		Map: func(key, state, static any, emit kv.Emit) error {
+			emit(key, state)
+			return nil
+		},
+		Reduce: func(key any, states []any) (any, error) {
+			return states[0].(float64) / 2, nil
+		},
+		Ops: kv.OpsFor[int64, float64](nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.ReadAll(res.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range out {
+		if math.Abs(v.(float64)-1.0/32) > 1e-12 {
+			t.Fatalf("key %v = %v", k, v)
+		}
+	}
+}
+
+func TestJobChain(t *testing.T) {
+	c, err := NewCluster(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []kv.Pair
+	for i := 0; i < 6; i++ {
+		recs = append(recs, kv.Pair{Key: int64(i), Value: mapreduce.IterValue{State: 1.0}})
+	}
+	if err := c.Write("/init", recs, kv.OpsFor[int64, mapreduce.IterValue](nil)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunJobChain(mapreduce.IterSpec{
+		Name: "chain", Input: "/init", WorkDir: "/work",
+		Map: func(key, value any, emit kv.Emit) error {
+			emit(key, value)
+			return nil
+		},
+		Reduce: func(key any, values []any, emit kv.Emit) error {
+			v := values[0].(mapreduce.IterValue)
+			emit(key, mapreduce.IterValue{State: v.State.(float64) * 2})
+			return nil
+		},
+		NumReduce: 2,
+		Ops:       kv.OpsFor[int64, mapreduce.IterValue](nil),
+		MaxIter:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+	out, err := c.ReadAll(res.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range out {
+		if v.(mapreduce.IterValue).State.(float64) != 8 {
+			t.Fatalf("key %v = %v", k, v)
+		}
+	}
+}
+
+func TestOptionsPlumbing(t *testing.T) {
+	m := metrics.NewSet()
+	c, err := NewCluster(Options{
+		Workers: 5,
+		TCP:     true,
+		DFS:     &dfs.Config{BlockSize: 1 << 10, Replication: 2},
+		Core:    &core.Options{Timeout: 7 * time.Second},
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Spec.Nodes) != 5 {
+		t.Fatalf("workers: %d", len(c.Spec.Nodes))
+	}
+	if c.Metrics != m {
+		t.Fatal("metrics not plumbed")
+	}
+	if c.MapReduceEngine() == nil || c.CoreEngine() == nil {
+		t.Fatal("engines missing")
+	}
+	if err := c.FailWorker("worker-0"); err == nil {
+		t.Fatal("FailWorker with no active run should error")
+	}
+}
+
+func TestReadAllMissing(t *testing.T) {
+	c, err := NewCluster(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadAll("/nope"); err == nil {
+		t.Fatal("expected error")
+	}
+	// Single-file (non-directory) read works too.
+	if err := c.Write("/single", []kv.Pair{{Key: int64(1), Value: 2.0}}, kv.OpsFor[int64, float64](nil)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.ReadAll("/single")
+	if err != nil || out[int64(1)] != 2.0 {
+		t.Fatalf("single read: %v %v", out, err)
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	empty := cluster.Spec{} // no nodes, no slots
+	if _, err := NewCluster(Options{Spec: &empty}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}

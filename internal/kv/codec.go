@@ -1,0 +1,32 @@
+package kv
+
+import "encoding/gob"
+
+// RegisterWireType registers a concrete type carried inside Pair.Key or
+// Pair.Value with gob, so that records survive the TCP transport.
+// In-process transports pass values by reference and do not need it.
+func RegisterWireType(v any) {
+	gob.Register(v)
+}
+
+func init() {
+	// Types every job may carry. Algorithm packages register their own
+	// record types in their init functions. Scalars must be registered
+	// explicitly because they travel inside interface-typed fields.
+	gob.Register(int(0))
+	gob.Register(int32(0))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+	gob.Register(float32(0))
+	gob.Register(float64(0))
+	gob.Register(string(""))
+	gob.Register(bool(false))
+	gob.Register(Pair{})
+	gob.Register([]Pair{})
+	gob.Register(Group{})
+	gob.Register([]int32{})
+	gob.Register([]int64{})
+	gob.Register([]float32{})
+	gob.Register([]float64{})
+	gob.Register([]byte{})
+}

@@ -1,0 +1,39 @@
+package kv
+
+import "sort"
+
+// GroupPairs groups pairs by key and returns the groups sorted by key
+// under ops.Less. Within a group, values keep the order in which their
+// pairs appeared, so grouping is deterministic for a deterministic input
+// order.
+func GroupPairs(pairs []Pair, ops Ops) []Group {
+	byKey := make(map[any][]any, len(pairs))
+	for _, p := range pairs {
+		byKey[p.Key] = append(byKey[p.Key], p.Value)
+	}
+	groups := make([]Group, 0, len(byKey))
+	for k, vs := range byKey {
+		groups = append(groups, Group{Key: k, Values: vs})
+	}
+	sort.Slice(groups, func(i, j int) bool { return ops.Less(groups[i].Key, groups[j].Key) })
+	return groups
+}
+
+// MergeSortedPairs merges two key-sorted pair slices into one key-sorted
+// slice. Used by the shuffle merge and by checkpoint compaction.
+func MergeSortedPairs(a, b []Pair, ops Ops) []Pair {
+	out := make([]Pair, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if ops.Less(b[j].Key, a[i].Key) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,154 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"imapreduce/internal/cluster"
+	"imapreduce/internal/dfs"
+	"imapreduce/internal/kv"
+	"imapreduce/internal/metrics"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Inc("a", 2)
+	c.Inc("a", 3)
+	c.Inc("b", 1)
+	if c.Get("a") != 5 || c.Get("b") != 1 || c.Get("missing") != 0 {
+		t.Fatalf("counter values wrong: a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names: %v", names)
+	}
+	d := NewCounters()
+	d.Inc("a", 10)
+	c.merge(d)
+	if c.Get("a") != 15 {
+		t.Fatalf("merge: a=%d", c.Get("a"))
+	}
+	c.merge(nil) // no-op
+}
+
+// counterWordCount counts mapped words and reduced groups via counters.
+func counterWordCount(input, output string) *Job {
+	return &Job{
+		Name:   "wc-counters",
+		Input:  []string{input},
+		Output: output,
+		MapCnt: func(c *Counters, key, value any, emit kv.Emit) error {
+			for _, w := range strings.Fields(value.(string)) {
+				c.Inc("words.mapped", 1)
+				emit(w, int64(1))
+			}
+			return nil
+		},
+		ReduceCnt: func(c *Counters, key any, values []any, emit kv.Emit) error {
+			c.Inc("groups.reduced", 1)
+			var sum int64
+			for _, v := range values {
+				sum += v.(int64)
+			}
+			emit(key, sum)
+			return nil
+		},
+		NumReduce: 3,
+		Ops:       kv.OpsFor[string, int64](nil),
+	}
+}
+
+func TestJobCounters(t *testing.T) {
+	e, fs, _ := testEnv(t, 2, Options{})
+	writeWords(t, fs, "/in", []string{"a b c", "a b", "a"})
+	res, err := e.Submit(counterWordCount("/in", "/out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Counters.Get("words.mapped"); got != 6 {
+		t.Fatalf("words.mapped = %d, want 6", got)
+	}
+	if got := res.Counters.Get("groups.reduced"); got != 3 {
+		t.Fatalf("groups.reduced = %d, want 3", got)
+	}
+}
+
+// TestCountersWinnerOnlyUnderRetry: the failed first attempt's counter
+// increments must not leak into the job totals.
+func TestCountersWinnerOnlyUnderRetry(t *testing.T) {
+	opts := Options{
+		FailTask: func(job, kind string, task, attempt int) bool {
+			return attempt == 1 // every first attempt dies (after the injector check, before work)
+		},
+	}
+	e, fs, _ := testEnv(t, 2, opts)
+	writeWords(t, fs, "/in", []string{"x y", "y z"})
+	res, err := e.Submit(counterWordCount("/in", "/out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Counters.Get("words.mapped"); got != 4 {
+		t.Fatalf("words.mapped = %d after retries, want 4", got)
+	}
+	if got := res.Counters.Get("groups.reduced"); got != 3 {
+		t.Fatalf("groups.reduced = %d after retries, want 3", got)
+	}
+}
+
+// TestCountersWinnerOnlyUnderSpeculation: duplicate (backup) attempts
+// must not double-count even when both run to completion.
+func TestCountersWinnerOnlyUnderSpeculation(t *testing.T) {
+	spec := cluster.Heterogeneous([]float64{1, 0.04, 1})
+	m := metrics.NewSet()
+	fs := dfs.New(dfs.Config{BlockSize: 1 << 20, Replication: 3}, spec.IDs(), m)
+	var lines []string
+	const n = 40
+	for i := 0; i < n; i++ {
+		lines = append(lines, fmt.Sprintf("w%02d w%02d", i, (i+1)%n))
+	}
+	writeWords(t, fs, "/in", lines)
+	e, _ := NewEngine(fs, spec, m, Options{Speculative: true, SpeculativeSlowdown: 2})
+	job := counterWordCount("/in", "/out")
+	job.NumReduce = 9
+	base := job.ReduceCnt
+	job.ReduceCnt = func(c *Counters, key any, values []any, emit kv.Emit) error {
+		time.Sleep(300 * time.Microsecond)
+		return base(c, key, values, emit)
+	}
+	res, err := e.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(metrics.SpeculativeTasks) == 0 {
+		t.Skip("no speculation triggered this run; winner-only property not exercised")
+	}
+	if got := res.Counters.Get("words.mapped"); got != 2*n {
+		t.Fatalf("words.mapped = %d with speculation, want %d", got, 2*n)
+	}
+	if got := res.Counters.Get("groups.reduced"); got != n {
+		t.Fatalf("groups.reduced = %d with speculation, want %d", got, n)
+	}
+}
+
+func TestJobValidationCounterVariants(t *testing.T) {
+	e, fs, _ := testEnv(t, 1, Options{})
+	writeWords(t, fs, "/in", []string{"a"})
+	good := counterWordCount("/in", "/out")
+	// Both a plain and a counter map set: rejected.
+	bad := counterWordCount("/in", "/out2")
+	bad.Map = func(key, value any, emit kv.Emit) error { return nil }
+	if _, err := e.Submit(bad); err == nil {
+		t.Fatal("two map variants accepted")
+	}
+	// Both reduce variants set: rejected.
+	bad2 := counterWordCount("/in", "/out3")
+	bad2.Reduce = func(key any, values []any, emit kv.Emit) error { return nil }
+	if _, err := e.Submit(bad2); err == nil {
+		t.Fatal("two reduce variants accepted")
+	}
+	if _, err := e.Submit(good); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package sim is a small deterministic discrete-event simulation kernel:
+// a virtual clock, an event heap, and capacity-limited FCFS resources.
+// The EC2-scale experiments (internal/simcluster) are built on it.
+//
+// Time is float64 seconds of virtual time. Events scheduled for the same
+// instant fire in scheduling order, making runs fully deterministic.
+package sim
+
+import "container/heap"
+
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine owns the clock and the pending-event queue.
+type Engine struct {
+	now  float64
+	heap eventHeap
+	seq  int64
+}
+
+// NewEngine returns an engine at time 0 with no events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute time t (clamped to now if in the past).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue is empty and returns the final
+// virtual time.
+func (e *Engine) Run() float64 {
+	for e.heap.Len() > 0 {
+		ev := heap.Pop(&e.heap).(event)
+		e.now = ev.t
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	for e.heap.Len() > 0 && e.heap[0].t <= t {
+		ev := heap.Pop(&e.heap).(event)
+		e.now = ev.t
+		ev.fn()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Resource is a capacity-limited FCFS server: at most Capacity
+// concurrent holders; further requests queue in arrival order. It models
+// task slots on a worker.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	busy     int
+	queue    []func()
+}
+
+// NewResource creates a resource with the given capacity on e.
+func (e *Engine) NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// Acquire runs fn when a unit of capacity is available, passing a
+// release function that must be called exactly once.
+func (r *Resource) Acquire(fn func(release func())) {
+	start := func() {
+		r.busy++
+		released := false
+		fn(func() {
+			if released {
+				panic("sim: double release")
+			}
+			released = true
+			r.busy--
+			r.dispatch()
+		})
+	}
+	if r.busy < r.capacity {
+		start()
+		return
+	}
+	r.queue = append(r.queue, start)
+}
+
+func (r *Resource) dispatch() {
+	for r.busy < r.capacity && len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		next()
+	}
+}
+
+// Use acquires a unit, holds it for d seconds of virtual time, then
+// releases and calls done (which may be nil).
+func (r *Resource) Use(d float64, done func()) {
+	r.Acquire(func(release func()) {
+		r.eng.After(d, func() {
+			release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// InUse returns the number of busy capacity units.
+func (r *Resource) InUse() int { return r.busy }
+
+// Queued returns the number of waiting requests.
+func (r *Resource) Queued() int { return len(r.queue) }

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(2, func() { order = append(order, 2) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(3, func() { order = append(order, 3) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("end time %f", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order: %v", order)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	e := NewEngine()
+	var at float64
+	e.After(1, func() {
+		e.After(2, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 3 {
+		t.Fatalf("nested After fired at %f, want 3", at)
+	}
+}
+
+func TestPastEventsClamp(t *testing.T) {
+	e := NewEngine()
+	var fired float64 = -1
+	e.At(5, func() {
+		e.At(1, func() { fired = e.Now() }) // in the past: clamp to now
+	})
+	e.Run()
+	if fired != 5 {
+		t.Fatalf("past event fired at %f, want 5", fired)
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(-3, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 0 {
+		t.Fatalf("negative delay mishandled: now=%f", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1, func() { count++ })
+	e.At(2, func() { count++ })
+	e.At(10, func() { count++ })
+	e.RunUntil(5)
+	if count != 2 || e.Now() != 5 {
+		t.Fatalf("count=%d now=%f", count, e.Now())
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("remaining event lost")
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource(1)
+	var ends []float64
+	for i := 0; i < 3; i++ {
+		r.Use(2, func() { ends = append(ends, e.Now()) })
+	}
+	e.Run()
+	want := []float64{2, 4, 6}
+	for i, w := range want {
+		if math.Abs(ends[i]-w) > 1e-9 {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceParallelism(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource(2)
+	var ends []float64
+	for i := 0; i < 4; i++ {
+		r.Use(3, func() { ends = append(ends, e.Now()) })
+	}
+	e.Run()
+	// Two waves of two: finish at 3,3,6,6.
+	want := []float64{3, 3, 6, 6}
+	for i, w := range want {
+		if math.Abs(ends[i]-w) > 1e-9 {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceFIFOQueue(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Use(1, func() { order = append(order, i) })
+	}
+	if r.InUse() != 1 || r.Queued() != 4 {
+		t.Fatalf("InUse=%d Queued=%d", r.InUse(), r.Queued())
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAcquireManualRelease(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource(1)
+	got := false
+	r.Acquire(func(release func()) {
+		e.After(7, func() {
+			release()
+		})
+	})
+	r.Acquire(func(release func()) {
+		got = true
+		if e.Now() != 7 {
+			t.Errorf("second acquire at %f, want 7", e.Now())
+		}
+		release()
+	})
+	e.Run()
+	if !got {
+		t.Fatal("second acquire never ran")
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double release")
+		}
+	}()
+	r.Acquire(func(release func()) {
+		release()
+		release()
+	})
+	e.Run()
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine().NewResource(0)
+}
+
+// A small end-to-end model: 10 tasks, 2 slots, heterogeneous durations —
+// checks the makespan equals a hand-computed LPT-free FCFS schedule.
+func TestSlotScheduleMakespan(t *testing.T) {
+	e := NewEngine()
+	slots := e.NewResource(2)
+	durs := []float64{4, 3, 2, 2, 1}
+	for _, d := range durs {
+		slots.Use(d, nil)
+	}
+	end := e.Run()
+	// FCFS: slot A gets 4, slot B gets 3; then B takes 2 (ends 5), A takes 2
+	// (ends 6), B takes 1 (ends 6).
+	if math.Abs(end-6) > 1e-9 {
+		t.Fatalf("makespan %f, want 6", end)
+	}
+}

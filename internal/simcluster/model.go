@@ -1,0 +1,256 @@
+package simcluster
+
+import (
+	"math"
+
+	"imapreduce/internal/sim"
+)
+
+const mb = 1024 * 1024
+
+// RunStats is one simulated engine run.
+type RunStats struct {
+	Name   string
+	Engine string // "mapreduce" or "imapreduce"
+	// InitSec: for the baseline, the summed per-job initialization time
+	// (subtract for the "ex. init." curve); for iMapReduce, the
+	// one-time initialization.
+	InitSec float64
+	// IterSec are per-iteration durations; CumSec their prefix sums
+	// (the y-axis of Figs. 4–7).
+	IterSec  []float64
+	CumSec   []float64
+	TotalSec float64
+	// CommMB is total cross-worker traffic (Fig. 11).
+	CommMB float64
+}
+
+func finish(rs *RunStats) *RunStats {
+	var cum float64
+	rs.CumSec = make([]float64, len(rs.IterSec))
+	for i, d := range rs.IterSec {
+		cum += d
+		rs.CumSec[i] = cum
+	}
+	rs.TotalSec = cum
+	return rs
+}
+
+// skew returns the deterministic per-task work multiplier in
+// [1-TaskSkew, 1+TaskSkew].
+func (p Params) skew(i, count int) float64 {
+	if count <= 1 || p.TaskSkew <= 0 {
+		return 1
+	}
+	return 1 + p.TaskSkew*(2*float64(i)/float64(count-1)-1)
+}
+
+// makespan runs task durations through slot-limited workers (round-robin
+// placement, FCFS slots) on the DES kernel and returns the completion
+// time.
+func (p Params) makespan(slotsPer int, durations []float64) float64 {
+	eng := sim.NewEngine()
+	res := make([]*sim.Resource, p.Instances)
+	for i := range res {
+		res[i] = eng.NewResource(slotsPer)
+	}
+	for t, d := range durations {
+		node := t % p.Instances
+		res[node].Use(d/p.speedOf(node), nil)
+	}
+	return eng.Run()
+}
+
+// SimulateMR models the baseline: one full MapReduce job per iteration,
+// with state and static data traveling together through DFS, map,
+// shuffle and reduce (§2.2's three overheads).
+func SimulateMR(p Params, w Workload, iters int) *RunStats {
+	rs := &RunStats{Name: w.Name, Engine: "mapreduce"}
+	staticMB := float64(w.StaticBytes) / mb
+	stateMB := float64(w.Nodes*w.StateRecBytes) / mb
+	inputMB := staticMB + stateMB
+	numReduce := p.Instances
+
+	for k := 1; k <= iters; k++ {
+		msgs := w.msgsAt(k)
+		msgMB := msgs * float64(w.MsgBytes) / mb
+
+		// Map phase: one task per 64 MB block of the combined records.
+		mapTasks := int(math.Ceil(inputMB / p.BlockMB))
+		if mapTasks < 1 {
+			mapTasks = 1
+		}
+		perTaskReadMB := inputMB / float64(mapTasks)
+		mapDurs := make([]float64, mapTasks)
+		for i := range mapDurs {
+			read := perTaskReadMB/p.DiskMBps + p.LocalityMissRate*perTaskReadMB/p.NicMBps
+			compute := (float64(w.Nodes) + msgs) / float64(mapTasks) * p.MapRecUs * 1e-6
+			spill := (msgMB + inputMB) / float64(mapTasks) / p.DiskMBps
+			mapDurs[i] = p.TaskStartSec + (read+compute+spill)*p.skew(i, mapTasks)
+		}
+		mapSpan := p.makespan(p.MapSlots, mapDurs)
+
+		// Shuffle: messages plus the full static+state carrier records,
+		// with Hadoop's materialization overhead.
+		shuffleMB := (msgMB + inputMB) * p.HadoopShuffleOverhead
+		shuffleSec := shuffleMB*p.remoteFrac()/p.aggNetMBps() +
+			shuffleMB/float64(numReduce)/p.DiskMBps
+
+		// Reduce phase: merge, reduce, write state+static back to DFS
+		// with replication.
+		redDurs := make([]float64, numReduce)
+		outPerRed := inputMB / float64(numReduce)
+		for i := range redDurs {
+			merge := shuffleMB / float64(numReduce) / p.DiskMBps
+			compute := (msgs + float64(w.Nodes)) / float64(numReduce) * p.ReduceRecUs * 1e-6
+			write := outPerRed/p.DiskMBps + outPerRed*float64(p.Replication-1)/p.NicMBps
+			redDurs[i] = p.TaskStartSec + (merge+compute+write)*p.skew(numReduce-1-i, numReduce)
+		}
+		redSpan := p.makespan(p.ReduceSlots, redDurs)
+
+		jobInit := p.JobInitSec + p.SchedPerTaskSec*float64(mapTasks+numReduce)
+		rs.InitSec += jobInit + p.TaskStartSec
+		rs.IterSec = append(rs.IterSec, jobInit+mapSpan+shuffleSec+redSpan)
+		rs.CommMB += shuffleMB*p.remoteFrac() +
+			inputMB*p.LocalityMissRate +
+			inputMB*float64(p.Replication-1)
+	}
+	return finish(rs)
+}
+
+// IMROptions toggles the iMapReduce factors for the Fig. 10
+// decomposition.
+type IMROptions struct {
+	// SyncMap disables asynchronous map execution ("iMapReduce
+	// (sync.)").
+	SyncMap bool
+	// ShuffleStatic forces the static data through the shuffle every
+	// iteration (isolates the static-data-management factor).
+	ShuffleStatic bool
+	// PerIterationInit re-pays the job/task init cost every iteration
+	// (isolates the one-time-initialization factor).
+	PerIterationInit bool
+	// CheckpointEvery dumps state to DFS every k iterations (traffic
+	// only; the write is parallel). Default 5 when 0.
+	CheckpointEvery int
+}
+
+// SimulateIMR models iMapReduce: persistent task pairs, one-time load of
+// partitioned static data, state-only shuffle, local reduce→map return,
+// and (optionally) asynchronous map execution.
+func SimulateIMR(p Params, w Workload, iters int, opt IMROptions) *RunStats {
+	rs := &RunStats{Name: w.Name, Engine: "imapreduce"}
+	if opt.CheckpointEvery <= 0 {
+		opt.CheckpointEvery = 5
+	}
+	staticMB := float64(w.StaticBytes) / mb
+	stateMB := float64(w.Nodes*w.StateRecBytes) / mb
+	pairs := p.Instances
+
+	// One-time initialization (§3.2): read the input once, partition,
+	// and place each part at its pair's worker.
+	loadSec := (staticMB+stateMB)/float64(p.Instances)/p.DiskMBps +
+		(staticMB+stateMB)*p.remoteFrac()/p.aggNetMBps()
+	rs.InitSec = p.JobInitSec + p.TaskStartSec + p.SchedPerTaskSec*float64(2*pairs) + loadSec
+	rs.CommMB += (staticMB + stateMB) * p.remoteFrac()
+	// Checkpoint 0 (the rollback base) is replicated in DFS.
+	rs.CommMB += stateMB * float64(p.Replication-1)
+
+	// Per-pair completion times for the async recurrence; everything
+	// starts when initialization finishes. The one-time init lands in
+	// the first iteration's duration so cumulative curves line up with
+	// the baseline's (whose every iteration embeds a job init).
+	rDone := make([]float64, pairs)
+	prevEnd := 0.0
+	for i := range rDone {
+		rDone[i] = rs.InitSec
+	}
+
+	for k := 1; k <= iters; k++ {
+		msgs := w.msgsAt(k)
+		msgMB := msgs * float64(w.MsgBytes) / mb
+
+		shuffleMB := msgMB
+		if opt.ShuffleStatic {
+			shuffleMB += staticMB
+		}
+		shuffleSec := shuffleMB * p.remoteFrac() / p.aggNetMBps()
+
+		// The prototype stores intermediate data in local files (§6's
+		// key difference from Twister), so both sides pay disk I/O on
+		// the shuffled volume, and the reduce loops state back through
+		// the local FS.
+		mapT := func(i int) float64 {
+			compute := (float64(w.Nodes)+msgs)/float64(pairs)*p.MapRecUs*1e-6 +
+				shuffleMB/float64(pairs)/p.DiskMBps // local spill
+			extra := 0.0
+			if opt.PerIterationInit {
+				extra = p.TaskStartSec
+			}
+			return extra + compute*p.skew(i, pairs)/p.speedOf(i%p.Instances)
+		}
+		// Reduce skew runs opposite to map skew: partition in-degree
+		// weight is only weakly correlated with out-degree weight, and
+		// this decorrelation is what async map execution exploits.
+		redT := func(i int) float64 {
+			compute := (msgs+float64(w.Nodes))/float64(pairs)*p.ReduceRecUs*1e-6 +
+				shuffleMB/float64(pairs)/p.DiskMBps + // merge read
+				2*stateMB/float64(pairs)/p.DiskMBps // state loop-back via local FS
+			return compute * p.skew(pairs-1-i, pairs) / p.speedOf(i%p.Instances)
+		}
+
+		// map_k(i) starts when its own reduce finished iteration k-1
+		// (async) or when every reduce finished (sync / broadcast).
+		var maxPrev float64
+		for _, r := range rDone {
+			if r > maxPrev {
+				maxPrev = r
+			}
+		}
+		var mapsDone float64
+		mapDone := make([]float64, pairs)
+		for i := range mapDone {
+			start := rDone[i]
+			if opt.SyncMap {
+				start = maxPrev
+			}
+			mapDone[i] = start + mapT(i)
+			if mapDone[i] > mapsDone {
+				mapsDone = mapDone[i]
+			}
+		}
+		// Reduce barrier: every reduce waits for all maps (§3.3).
+		iterEnd := 0.0
+		for i := range rDone {
+			rDone[i] = mapsDone + shuffleSec + redT(i)
+			if rDone[i] > iterEnd {
+				iterEnd = rDone[i]
+			}
+		}
+		over := p.BarrierSec
+		if opt.PerIterationInit {
+			over += p.JobInitSec
+		}
+		for i := range rDone {
+			rDone[i] += over
+		}
+		iterEnd += over
+
+		rs.IterSec = append(rs.IterSec, iterEnd-prevEnd)
+		prevEnd = iterEnd
+		rs.CommMB += shuffleMB * p.remoteFrac()
+		if k%opt.CheckpointEvery == 0 {
+			rs.CommMB += stateMB * float64(p.Replication-1)
+		}
+	}
+	// Final output write (once, §3.1).
+	rs.CommMB += stateMB * float64(p.Replication-1)
+	return finish(rs)
+}
+
+// ParallelEfficiency computes T* / (n·Tn) (paper Eq. 2): total is the
+// simulated runtime as a function of cluster size; the single-instance
+// run provides T*.
+func ParallelEfficiency(total func(instances int) float64, n int) float64 {
+	return total(1) / (total(n) * float64(n))
+}

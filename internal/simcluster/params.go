@@ -1,0 +1,117 @@
+// Package simcluster reproduces the paper's EC2-scale experiments
+// (Figs. 8–14) with a discrete-event cost model: 20–80 small instances,
+// Hadoop-era job/task launch overheads, slot-limited task waves, shared
+// network bandwidth, and the two engines' different data movement
+// (static+state reshuffled per iteration vs state-only with persistent
+// tasks).
+//
+// The model is deliberately parameter-light; every constant is declared
+// here and documented. Absolute seconds are not the goal — the
+// engine-vs-engine ratios and their trends with graph size and cluster
+// size are.
+package simcluster
+
+// Params is the simulated cluster and cost model.
+type Params struct {
+	// Instances is the cluster size (the paper sweeps 20, 50, 80).
+	Instances int
+	// MapSlots/ReduceSlots per instance (Hadoop default: 2 + 2).
+	MapSlots    int
+	ReduceSlots int
+
+	// DiskMBps is sequential disk bandwidth per instance; NicMBps the
+	// NIC bandwidth (1 Gbps ≈ 125 MB/s in the paper's local cluster;
+	// EC2 small instances were closer to 30–60 MB/s sustained).
+	DiskMBps float64
+	NicMBps  float64
+	// NetEfficiency discounts the aggregate all-to-all bandwidth for
+	// switch contention (0.5 = half the sum of NICs usable).
+	NetEfficiency float64
+
+	// JobInitSec is the per-job submission/setup/cleanup cost the
+	// baseline pays every iteration (JVM-era Hadoop: 10–20 s).
+	JobInitSec float64
+	// TaskStartSec is the per-task launch cost (task JVM start).
+	TaskStartSec float64
+	// SchedPerTaskSec is the job tracker's per-task scheduling cost,
+	// paid as part of every job's initialization; it grows with task
+	// count and therefore with cluster size, which is why the baseline
+	// scales worse (Figs. 12–13). Persistent tasks pay it once.
+	SchedPerTaskSec float64
+	// BarrierSec is iMapReduce's per-iteration coordination cost:
+	// reduce reports, master distance merge and termination check, and
+	// the reduce→map socket turnaround. The prototype is file-backed
+	// and Hadoop-hosted, so this is seconds, not milliseconds.
+	BarrierSec float64
+
+	// MapRecUs / ReduceRecUs are per-record compute costs in
+	// microseconds, calibrated against the real engines (see
+	// TestCalibration).
+	MapRecUs    float64
+	ReduceRecUs float64
+
+	// BlockMB is the DFS block size (64 MB in the paper).
+	BlockMB float64
+	// Replication is the DFS replication factor (3).
+	Replication int
+
+	// TaskSkew spreads per-task work deterministically by ±TaskSkew
+	// (data skew from the log-normal degree distribution); it is what
+	// asynchronous map execution exploits.
+	TaskSkew float64
+
+	// HadoopShuffleOverhead scales the baseline's shuffle volume for
+	// Hadoop's spill/merge/HTTP materialization.
+	HadoopShuffleOverhead float64
+
+	// LocalityMissRate is the fraction of baseline map input read from
+	// a remote replica despite locality scheduling.
+	LocalityMissRate float64
+
+	// SpeedFactors, when non-nil, gives per-instance relative speeds
+	// (heterogeneity experiments); len must equal Instances.
+	SpeedFactors []float64
+}
+
+// DefaultParams models the paper's EC2 small-instance cluster.
+func DefaultParams(instances int) Params {
+	return Params{
+		Instances:             instances,
+		MapSlots:              2,
+		ReduceSlots:           2,
+		DiskMBps:              55,
+		NicMBps:               60,
+		NetEfficiency:         0.5,
+		JobInitSec:            5,
+		TaskStartSec:          1.5,
+		SchedPerTaskSec:       0.05,
+		BarrierSec:            2.5,
+		MapRecUs:              1.4,
+		ReduceRecUs:           2.5,
+		BlockMB:               64,
+		Replication:           3,
+		TaskSkew:              0.5,
+		HadoopShuffleOverhead: 1.3,
+		LocalityMissRate:      0.1,
+	}
+}
+
+func (p Params) speedOf(node int) float64 {
+	if p.SpeedFactors == nil || node >= len(p.SpeedFactors) || p.SpeedFactors[node] <= 0 {
+		return 1
+	}
+	return p.SpeedFactors[node]
+}
+
+// aggNetMBps is the usable all-to-all network bandwidth.
+func (p Params) aggNetMBps() float64 {
+	return float64(p.Instances) * p.NicMBps * p.NetEfficiency
+}
+
+// remoteFrac is the probability a hashed partition lands off-node.
+func (p Params) remoteFrac() float64 {
+	if p.Instances <= 1 {
+		return 0
+	}
+	return float64(p.Instances-1) / float64(p.Instances)
+}

@@ -1,0 +1,263 @@
+package simcluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"imapreduce/internal/graph"
+)
+
+func dataset(t *testing.T, name string) graph.Dataset {
+	t.Helper()
+	d, err := graph.ByName(name, graph.DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestIMRBeatsMR(t *testing.T) {
+	for _, name := range []string{"sssp-s", "sssp-m", "sssp-l"} {
+		w := SSSPWorkload(dataset(t, name))
+		p := DefaultParams(20)
+		mr := SimulateMR(p, w, 10)
+		imr := SimulateIMR(p, w, 10, IMROptions{})
+		if imr.TotalSec >= mr.TotalSec {
+			t.Errorf("%s: iMR %.1fs not faster than MR %.1fs", name, imr.TotalSec, mr.TotalSec)
+		}
+		ratio := imr.TotalSec / mr.TotalSec
+		// Paper Fig. 8: 23.2%, 37.0%, 38.6% — allow a generous band but
+		// require the right regime.
+		if ratio < 0.1 || ratio > 0.7 {
+			t.Errorf("%s: ratio %.2f outside plausible band", name, ratio)
+		}
+		t.Logf("%s: MR %.1fs iMR %.1fs ratio %.1f%%", name, mr.TotalSec, imr.TotalSec, 100*ratio)
+	}
+}
+
+func TestSmallGraphsBenefitMore(t *testing.T) {
+	// Fig. 8/9: iMR's advantage is largest on small inputs, where init
+	// dominates.
+	p := DefaultParams(20)
+	ratio := func(name string) float64 {
+		w := SSSPWorkload(dataset(t, name))
+		return SimulateIMR(p, w, 10, IMROptions{}).TotalSec / SimulateMR(p, w, 10).TotalSec
+	}
+	small, large := ratio("sssp-s"), ratio("sssp-l")
+	if small >= large {
+		t.Fatalf("small-graph ratio %.2f should beat large-graph ratio %.2f", small, large)
+	}
+}
+
+func TestFactorOrdering(t *testing.T) {
+	// Fig. 10: each disabled optimization must cost time; sync ≥ async,
+	// static-shuffle ≥ none, per-iter init ≥ one-time.
+	w := SSSPWorkload(dataset(t, "sssp-m"))
+	p := DefaultParams(20)
+	base := SimulateIMR(p, w, 10, IMROptions{}).TotalSec
+	sync := SimulateIMR(p, w, 10, IMROptions{SyncMap: true}).TotalSec
+	shuf := SimulateIMR(p, w, 10, IMROptions{ShuffleStatic: true}).TotalSec
+	init := SimulateIMR(p, w, 10, IMROptions{PerIterationInit: true}).TotalSec
+	if sync < base || shuf <= base || init <= base {
+		t.Fatalf("factors not costly: base %.1f sync %.1f shuffle %.1f init %.1f", base, sync, shuf, init)
+	}
+}
+
+func TestCommunicationSavings(t *testing.T) {
+	// Fig. 11: iMR's traffic is a small fraction of the baseline's.
+	for _, tc := range []struct {
+		name string
+		w    Workload
+	}{
+		{"sssp-l", SSSPWorkload(dataset(t, "sssp-l"))},
+		{"pagerank-l", PageRankWorkload(dataset(t, "pagerank-l"))},
+	} {
+		p := DefaultParams(20)
+		mr := SimulateMR(p, tc.w, 10)
+		imr := SimulateIMR(p, tc.w, 10, IMROptions{})
+		ratio := imr.CommMB / mr.CommMB
+		if ratio > 0.5 {
+			t.Errorf("%s: comm ratio %.2f too high", tc.name, ratio)
+		}
+		t.Logf("%s: MR %.0fMB iMR %.0fMB ratio %.1f%%", tc.name, mr.CommMB, imr.CommMB, 100*ratio)
+	}
+}
+
+func TestScalingImprovesRatio(t *testing.T) {
+	// Figs. 12–13: the iMR/MR ratio improves as the cluster grows.
+	w := SSSPWorkload(dataset(t, "sssp-l"))
+	ratio := func(n int) float64 {
+		p := DefaultParams(n)
+		return SimulateIMR(p, w, 10, IMROptions{}).TotalSec / SimulateMR(p, w, 10).TotalSec
+	}
+	r20, r50, r80 := ratio(20), ratio(50), ratio(80)
+	if !(r80 < r50 && r50 < r20) {
+		t.Fatalf("ratio not improving with scale: %.3f %.3f %.3f", r20, r50, r80)
+	}
+	t.Logf("scaling ratios: 20→%.1f%% 50→%.1f%% 80→%.1f%%", 100*r20, 100*r50, 100*r80)
+}
+
+func TestParallelEfficiency(t *testing.T) {
+	// Fig. 14: efficiencies in (0,1], decreasing with n, and iMR above
+	// MR.
+	w := SSSPWorkload(dataset(t, "sssp-l"))
+	mrTotal := func(n int) float64 { return SimulateMR(DefaultParams(n), w, 10).TotalSec }
+	imrTotal := func(n int) float64 {
+		return SimulateIMR(DefaultParams(n), w, 10, IMROptions{}).TotalSec
+	}
+	for _, n := range []int{20, 50, 80} {
+		em := ParallelEfficiency(mrTotal, n)
+		ei := ParallelEfficiency(imrTotal, n)
+		if em <= 0 || em > 1.05 || ei <= 0 || ei > 1.05 {
+			t.Fatalf("n=%d: efficiencies out of range: mr %.2f imr %.2f", n, em, ei)
+		}
+		if ei <= em {
+			t.Errorf("n=%d: iMR efficiency %.2f not above MR %.2f", n, ei, em)
+		}
+		t.Logf("n=%d: mr %.2f imr %.2f", n, em, ei)
+	}
+}
+
+func TestIterationsMonotone(t *testing.T) {
+	w := PageRankWorkload(dataset(t, "pagerank-m"))
+	p := DefaultParams(20)
+	for _, run := range []*RunStats{
+		SimulateMR(p, w, 8),
+		SimulateIMR(p, w, 8, IMROptions{}),
+	} {
+		if len(run.IterSec) != 8 || len(run.CumSec) != 8 {
+			t.Fatalf("%s: wrong series lengths", run.Engine)
+		}
+		for i, d := range run.IterSec {
+			if d <= 0 || math.IsNaN(d) {
+				t.Fatalf("%s: iteration %d duration %v", run.Engine, i+1, d)
+			}
+			if i > 0 && run.CumSec[i] <= run.CumSec[i-1] {
+				t.Fatalf("%s: cumulative time not increasing", run.Engine)
+			}
+		}
+		if math.Abs(run.CumSec[7]-run.TotalSec) > 1e-9 {
+			t.Fatalf("%s: total != last cumulative", run.Engine)
+		}
+	}
+}
+
+func TestFrontierActivity(t *testing.T) {
+	f := FrontierActivity(1000000, 7)
+	if f(1) >= f(3) || f(3) >= f(6) {
+		t.Fatal("activity should grow")
+	}
+	if f(20) != 1 {
+		t.Fatal("activity should saturate at 1")
+	}
+	if FullActivity(3) != 1 {
+		t.Fatal("full activity")
+	}
+}
+
+// TestPropertyMoreInstancesNeverSlower: while the workload is still
+// compute-dominated (small clusters), doubling the instances must not
+// make either engine slower. Past that regime per-task scheduling and
+// coordination floors legitimately flatten and eventually invert the
+// curve, as on real clusters — so the property stops at 32 instances.
+func TestPropertyMoreInstancesNeverSlower(t *testing.T) {
+	w := SSSPWorkload(dataset(t, "sssp-m"))
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%28) + 4 // 4..31 instances
+		mrSmall := SimulateMR(DefaultParams(n), w, 5).TotalSec
+		mrBig := SimulateMR(DefaultParams(n*2), w, 5).TotalSec
+		imrSmall := SimulateIMR(DefaultParams(n), w, 5, IMROptions{}).TotalSec
+		imrBig := SimulateIMR(DefaultParams(n*2), w, 5, IMROptions{}).TotalSec
+		// Allow a sliver of slack: per-task scheduling costs grow with n.
+		return mrBig <= mrSmall*1.05 && imrBig <= imrSmall*1.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMoreIterationsMoreTime: totals grow monotonically with the
+// iteration count.
+func TestPropertyMoreIterationsMoreTime(t *testing.T) {
+	w := PageRankWorkload(dataset(t, "pagerank-s"))
+	p := DefaultParams(20)
+	f := func(kRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		return SimulateMR(p, w, k+1).TotalSec > SimulateMR(p, w, k).TotalSec &&
+			SimulateIMR(p, w, k+1, IMROptions{}).TotalSec > SimulateIMR(p, w, k, IMROptions{}).TotalSec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrontierActivityMatchesRealBFS validates the SSSP activity model
+// against an actual breadth-first expansion on a generated catalog
+// graph: the modeled reached-fraction must track the measured one
+// within an order of magnitude through the ramp-up and agree at
+// saturation.
+func TestFrontierActivityMatchesRealBFS(t *testing.T) {
+	d := dataset(t, "sssp-s") // scaled generation, same degree law
+	g := d.Build()
+	reached := make([]bool, g.N)
+	reached[0] = true
+	frontier := []int32{0}
+	count := 1
+	model := FrontierActivity(int64(g.N), float64(g.Edges())/float64(g.N))
+	for iter := 1; iter <= 12 && len(frontier) > 0; iter++ {
+		var next []int32
+		for _, u := range frontier {
+			dst, _ := g.Neighbors(u)
+			for _, v := range dst {
+				if !reached[v] {
+					reached[v] = true
+					count++
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+		measured := float64(count) / float64(g.N)
+		predicted := model(iter + 1) // model(k) = reached after k-1 rounds
+		if measured >= 0.99 {
+			if predicted < 0.5 {
+				t.Fatalf("iter %d: graph saturated but model says %.3f", iter, predicted)
+			}
+			break
+		}
+		if predicted > 0 && (measured/predicted > 30 || predicted/measured > 30) {
+			t.Fatalf("iter %d: measured %.4f vs modeled %.4f — off by >30x", iter, measured, predicted)
+		}
+	}
+}
+
+func TestHeterogeneousSlowsDown(t *testing.T) {
+	w := SSSPWorkload(dataset(t, "sssp-m"))
+	p := DefaultParams(20)
+	slow := p
+	slow.SpeedFactors = make([]float64, 20)
+	for i := range slow.SpeedFactors {
+		slow.SpeedFactors[i] = 1
+	}
+	slow.SpeedFactors[3] = 0.3
+	if SimulateIMR(slow, w, 10, IMROptions{}).TotalSec <= SimulateIMR(p, w, 10, IMROptions{}).TotalSec {
+		t.Fatal("slow node did not slow the run")
+	}
+}
+
+func TestSingleInstanceNoNetwork(t *testing.T) {
+	w := PageRankWorkload(dataset(t, "pagerank-s"))
+	p := DefaultParams(1)
+	run := SimulateIMR(p, w, 5, IMROptions{})
+	if run.CommMB != 0 {
+		// Replication still writes off-node in principle, but with one
+		// node there is nowhere to go; remoteFrac is 0 yet replication
+		// terms remain — assert only shuffle is zero by comparing with
+		// a two-node run.
+		run2 := SimulateIMR(DefaultParams(2), w, 5, IMROptions{})
+		if run.CommMB >= run2.CommMB {
+			t.Fatalf("1-instance comm %.1f not below 2-instance %.1f", run.CommMB, run2.CommMB)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package simcluster
+
+import (
+	"math"
+
+	"imapreduce/internal/graph"
+)
+
+// Workload describes one iterative graph computation at the paper's
+// full data scale (the simulator needs only counts and byte volumes, so
+// no records are materialized).
+type Workload struct {
+	Name  string
+	Nodes int64
+	Edges int64
+
+	// StateRecBytes is one (node id, state value) record; MsgBytes one
+	// shuffled message; StaticBytes the total adjacency volume.
+	StateRecBytes int64
+	MsgBytes      int64
+	StaticBytes   int64
+
+	// Activity returns the fraction of nodes emitting messages at the
+	// given iteration (1-based). PageRank is always 1; SSSP ramps up
+	// with the breadth-first frontier.
+	Activity func(iter int) float64
+}
+
+// FullActivity is the all-nodes-active profile (PageRank, K-means).
+func FullActivity(int) float64 { return 1 }
+
+// FrontierActivity models SSSP's reachable-set growth: after k-1
+// relaxation rounds roughly avgDeg^(k-1) nodes are reached (capped at
+// the graph size). Only reached nodes emit relaxation messages.
+func FrontierActivity(nodes int64, avgDeg float64) func(int) float64 {
+	return func(iter int) float64 {
+		if iter <= 1 {
+			return 1 / float64(nodes)
+		}
+		reached := math.Pow(avgDeg, float64(iter-1))
+		if reached >= float64(nodes) {
+			return 1
+		}
+		return reached / float64(nodes)
+	}
+}
+
+// SSSPWorkload builds the workload for a Table-1 dataset at paper scale.
+func SSSPWorkload(d graph.Dataset) Workload {
+	avgDeg := float64(d.PaperEdges) / float64(d.PaperNodes)
+	return Workload{
+		Name:          d.Name,
+		Nodes:         int64(d.PaperNodes),
+		Edges:         d.PaperEdges,
+		StateRecBytes: 12,                                      // id + float distance
+		MsgBytes:      16,                                      // id + candidate distance
+		StaticBytes:   13*d.PaperEdges + 8*int64(d.PaperNodes), // weighted text adjacency
+		Activity:      FrontierActivity(int64(d.PaperNodes), avgDeg),
+	}
+}
+
+// PageRankWorkload builds the workload for a Table-2 dataset at paper
+// scale.
+func PageRankWorkload(d graph.Dataset) Workload {
+	return Workload{
+		Name:          d.Name,
+		Nodes:         int64(d.PaperNodes),
+		Edges:         d.PaperEdges,
+		StateRecBytes: 12,                                     // id + float rank
+		MsgBytes:      12,                                     // id + partial score
+		StaticBytes:   7*d.PaperEdges + 8*int64(d.PaperNodes), // unweighted text adjacency
+		Activity:      FullActivity,
+	}
+}
+
+// msgsAt returns the number of shuffled messages in one iteration: each
+// active node relaxes its edges and re-emits itself.
+func (w Workload) msgsAt(iter int) float64 {
+	a := w.Activity(iter)
+	return a*float64(w.Edges) + float64(w.Nodes)
+}

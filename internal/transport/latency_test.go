@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	nw := NewLatencyNetwork(NewChanNetwork(), 30*time.Millisecond, 0)
+	defer nw.Close()
+	a, err := nw.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := a.Send("b", Message{Kind: "x", Payload: payload{N: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("message arrived after %v, want >= 30ms latency", elapsed)
+	}
+	if m.Payload.(payload).N != 1 {
+		t.Fatal("payload lost")
+	}
+}
+
+func TestLatencyPreservesOrder(t *testing.T) {
+	nw := NewLatencyNetwork(NewChanNetwork(), 2*time.Millisecond, 0)
+	defer nw.Close()
+	a, _ := nw.Endpoint("a")
+	b, _ := nw.Endpoint("b")
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", Message{Kind: "seq", Payload: payload{N: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got := recvOne(t, b).Payload.(payload).N; got != i {
+			t.Fatalf("out of order: got %d at %d", got, i)
+		}
+	}
+}
+
+func TestLatencyPerByteCost(t *testing.T) {
+	// 100ms per MiB: a 512 KiB message takes ≥ 50ms.
+	nw := NewLatencyNetwork(NewChanNetwork(), 0, 100*time.Millisecond)
+	defer nw.Close()
+	a, _ := nw.Endpoint("a")
+	b, _ := nw.Endpoint("b")
+	start := time.Now()
+	a.Send("b", Message{Kind: "big", Payload: payload{}, Size: 512 << 10})
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("large message arrived after %v, want >= ~50ms", elapsed)
+	}
+	// A tiny message is near-instant.
+	start = time.Now()
+	a.Send("b", Message{Kind: "small", Payload: payload{}, Size: 16})
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Fatalf("small message took %v", elapsed)
+	}
+}
+
+func TestLatencySenderNeverBlocks(t *testing.T) {
+	nw := NewLatencyNetwork(NewChanNetwork(), 50*time.Millisecond, 0)
+	defer nw.Close()
+	a, _ := nw.Endpoint("a")
+	nw.Endpoint("b")
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 5000; i++ {
+			_ = a.Send("b", Message{Kind: "flood", Payload: payload{N: i}})
+		}
+		close(done)
+	}()
+	select {
+	case <-done: // queueing must be instant despite the 50ms latency
+	case <-time.After(2 * time.Second):
+		t.Fatal("latency wrapper blocked the sender")
+	}
+}
+
+func TestLatencyEndpointIdempotentAndCounters(t *testing.T) {
+	nw := NewLatencyNetwork(NewChanNetwork(), time.Millisecond, 0)
+	defer nw.Close()
+	e1, _ := nw.Endpoint("same")
+	e2, _ := nw.Endpoint("same")
+	if e1 != e2 {
+		t.Fatal("Endpoint not idempotent")
+	}
+	b, _ := nw.Endpoint("b")
+	e1.Send("b", Message{Kind: "x", Size: 64})
+	recvOne(t, b)
+	if nw.BytesSent() != 64 || nw.Messages() != 1 {
+		t.Fatalf("counters not delegated: %d bytes %d msgs", nw.BytesSent(), nw.Messages())
+	}
+	if e1.Addr() != "same" {
+		t.Fatal("addr not delegated")
+	}
+}

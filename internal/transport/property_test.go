@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyPerSenderOrderAndDelivery: for any interleaving of
+// senders and message counts, every message arrives exactly once and
+// per-sender order is preserved.
+func TestPropertyPerSenderOrderAndDelivery(t *testing.T) {
+	f := func(counts []uint8) bool {
+		if len(counts) == 0 || len(counts) > 6 {
+			return true // shape constraint, not a failure
+		}
+		nw := NewChanNetwork()
+		defer nw.Close()
+		dst, err := nw.Endpoint("dst")
+		if err != nil {
+			return false
+		}
+		total := 0
+		for s, c := range counts {
+			n := int(c % 50)
+			total += n
+			ep, err := nw.Endpoint(fmt.Sprintf("s%d", s))
+			if err != nil {
+				return false
+			}
+			go func(ep Endpoint, n int) {
+				for i := 0; i < n; i++ {
+					_ = ep.Send("dst", Message{Kind: "p", Payload: payload{N: i}})
+				}
+			}(ep, n)
+		}
+		next := map[string]int{}
+		for i := 0; i < total; i++ {
+			m, ok := <-dst.Recv()
+			if !ok {
+				return false
+			}
+			seq := m.Payload.(payload).N
+			if seq != next[m.From] {
+				return false // per-sender order broken
+			}
+			next[m.From]++
+		}
+		got := 0
+		for s, c := range counts {
+			if next[fmt.Sprintf("s%d", s)] != int(c%50) {
+				return false
+			}
+			got += next[fmt.Sprintf("s%d", s)]
+		}
+		return got == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

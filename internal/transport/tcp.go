@@ -1,0 +1,226 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// TCPNetwork is the real-socket backend. Every endpoint owns a loopback
+// listener; the first Send from A to B dials one connection that stays
+// open for the lifetime of the network — the persistent sockets the
+// paper builds between reduce tasks and their map tasks. Payload types
+// must be registered with gob (kv.RegisterWireType).
+type TCPNetwork struct {
+	mu        sync.Mutex
+	endpoints map[string]*tcpEndpoint
+	closed    bool
+	bytes     atomic.Int64
+	msgs      atomic.Int64
+	dials     atomic.Int64
+}
+
+// NewTCPNetwork returns an empty TCP network on the loopback interface.
+func NewTCPNetwork() *TCPNetwork {
+	return &TCPNetwork{endpoints: make(map[string]*tcpEndpoint)}
+}
+
+// Dials returns how many connections have been established; tests use it
+// to prove connections are persistent (one per sender/receiver pair).
+func (n *TCPNetwork) Dials() int64 { return n.dials.Load() }
+
+type tcpEndpoint struct {
+	net      *TCPNetwork
+	addr     string
+	listener net.Listener
+	ib       *inbox
+
+	mu    sync.Mutex
+	conns map[string]*tcpConn // persistent outbound connections by peer
+	done  chan struct{}
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	c    net.Conn
+	enc  *gob.Encoder
+	cw   *countingWriter
+	dead bool
+}
+
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+// wireMessage is the on-the-wire frame. A hello frame (Hello != "")
+// identifies the sender once per connection.
+type wireMessage struct {
+	Hello   string
+	From    string
+	Kind    string
+	Payload any
+	Size    int64
+}
+
+// Endpoint implements Network.
+func (n *TCPNetwork) Endpoint(addr string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("transport: network closed")
+	}
+	if ep, ok := n.endpoints[addr]; ok {
+		return ep, nil
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen for %q: %w", addr, err)
+	}
+	ep := &tcpEndpoint{
+		net:      n,
+		addr:     addr,
+		listener: l,
+		ib:       newInbox(),
+		conns:    make(map[string]*tcpConn),
+		done:     make(chan struct{}),
+	}
+	n.endpoints[addr] = ep
+	go ep.accept()
+	return ep, nil
+}
+
+func (e *tcpEndpoint) accept() {
+	for {
+		c, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	for {
+		var wm wireMessage
+		if err := dec.Decode(&wm); err != nil {
+			return
+		}
+		if wm.Hello != "" {
+			continue // connection identification frame
+		}
+		e.ib.push(Message{From: wm.From, To: e.addr, Kind: wm.Kind, Payload: wm.Payload, Size: wm.Size})
+	}
+}
+
+func (e *tcpEndpoint) Addr() string { return e.addr }
+
+func (e *tcpEndpoint) Send(to string, msg Message) error {
+	conn, err := e.connTo(to)
+	if err != nil {
+		return err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if conn.dead {
+		return fmt.Errorf("transport: connection %s->%s is down", e.addr, to)
+	}
+	before := conn.cw.n.Load()
+	wm := wireMessage{From: e.addr, Kind: msg.Kind, Payload: msg.Payload, Size: msg.Size}
+	if err := conn.enc.Encode(&wm); err != nil {
+		conn.dead = true
+		conn.c.Close()
+		return fmt.Errorf("transport: send %s->%s: %w", e.addr, to, err)
+	}
+	e.net.bytes.Add(conn.cw.n.Load() - before)
+	e.net.msgs.Add(1)
+	return nil
+}
+
+// connTo returns the persistent connection to peer, dialing it on first
+// use.
+func (e *tcpEndpoint) connTo(peer string) (*tcpConn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.conns[peer]; ok && !c.dead {
+		return c, nil
+	}
+	e.net.mu.Lock()
+	dst, ok := e.net.endpoints[peer]
+	closed := e.net.closed
+	e.net.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("transport: network closed")
+	}
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown endpoint %q", peer)
+	}
+	raw, err := net.Dial("tcp", dst.listener.Addr().String())
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q: %w", peer, err)
+	}
+	e.net.dials.Add(1)
+	cw := &countingWriter{w: raw, n: &atomic.Int64{}}
+	conn := &tcpConn{c: raw, enc: gob.NewEncoder(cw), cw: cw}
+	// Identify ourselves so the peer's frames carry the logical sender.
+	if err := conn.enc.Encode(&wireMessage{Hello: e.addr}); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	e.conns[peer] = conn
+	return conn, nil
+}
+
+func (e *tcpEndpoint) Recv() <-chan Message { return e.ib.out }
+
+func (e *tcpEndpoint) Close() error {
+	select {
+	case <-e.done:
+		return nil
+	default:
+	}
+	close(e.done)
+	e.listener.Close()
+	e.mu.Lock()
+	for _, c := range e.conns {
+		c.c.Close()
+	}
+	e.mu.Unlock()
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.addr)
+	e.net.mu.Unlock()
+	e.ib.close()
+	return nil
+}
+
+// Close implements Network.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	eps := make([]*tcpEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
+}
+
+// BytesSent implements Network.
+func (n *TCPNetwork) BytesSent() int64 { return n.bytes.Load() }
+
+// Messages implements Network.
+func (n *TCPNetwork) Messages() int64 { return n.msgs.Load() }
