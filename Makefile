@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race short ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite, including the chaos tests.
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector (the chaos suite must stay
+# race-clean — it exercises concurrent fault injection on purpose).
+race:
+	$(GO) test -race ./...
+
+# Quick loop: skips the chaos suite (guarded by testing.Short).
+short:
+	$(GO) test -short ./...
+
+ci: vet build race
+
+clean:
+	$(GO) clean ./...

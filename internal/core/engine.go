@@ -25,6 +25,25 @@ type Options struct {
 	// Timeout aborts a run whose master hears nothing for this long —
 	// a deadlock/livelock backstop. Default 2 minutes.
 	Timeout time.Duration
+
+	// HeartbeatInterval enables heartbeat failure detection (§3.4.1
+	// extended): every persistent task beats the master at this
+	// interval, and a worker none of whose tasks has beaten for
+	// HeartbeatInterval×HeartbeatMisses is declared failed and recovered
+	// through the same rollback-to-checkpoint path an injected failure
+	// takes. 0 (the default) disables detection; failures must then be
+	// announced via FailWorker.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many consecutive silent intervals declare a
+	// worker dead. Default 3.
+	HeartbeatMisses int
+	// SendRetries bounds how many times the engine retries a failed
+	// transport send (control commands, data chunks, reports) before
+	// abandoning the frame and counting it in metrics.SendFailures.
+	// Retries back off exponentially from SendRetryBackoff. Default 3.
+	SendRetries int
+	// SendRetryBackoff is the initial retry backoff. Default 1ms.
+	SendRetryBackoff time.Duration
 }
 
 // Engine executes iMapReduce jobs over a DFS, a transport network and a
@@ -39,6 +58,12 @@ type Engine struct {
 	mu           sync.Mutex
 	running      bool
 	activeMaster transport.Endpoint
+
+	// stallMu guards stalls: per-worker wake-up times for injected
+	// undetected hangs (StallWorker). Tasks consult it at every
+	// processing and heartbeat point.
+	stallMu sync.Mutex
+	stalls  map[string]time.Time
 }
 
 // NewEngine creates an engine. m may be nil.
@@ -55,7 +80,31 @@ func NewEngine(fs *dfs.DFS, net transport.Network, spec cluster.Spec, m *metrics
 	if opts.Timeout <= 0 {
 		opts.Timeout = 2 * time.Minute
 	}
-	return &Engine{fs: fs, net: net, spec: spec, m: m, opts: opts}, nil
+	if opts.HeartbeatMisses <= 0 {
+		opts.HeartbeatMisses = 3
+	}
+	if opts.SendRetries <= 0 {
+		opts.SendRetries = 3
+	}
+	if opts.SendRetryBackoff <= 0 {
+		opts.SendRetryBackoff = time.Millisecond
+	}
+	return &Engine{fs: fs, net: net, spec: spec, m: m, opts: opts, stalls: make(map[string]time.Time)}, nil
+}
+
+// sendReliable sends through the endpoint with the engine's bounded
+// retry policy, counting retries and abandoned frames. It returns the
+// final error so callers that must not lose the frame can escalate;
+// most task-side callers ignore it (shutdown races are expected).
+func (e *Engine) sendReliable(ep transport.Endpoint, to string, msg transport.Message) error {
+	attempts, err := transport.ReliableSend(ep, to, msg, e.opts.SendRetries, e.opts.SendRetryBackoff)
+	if attempts > 1 {
+		e.m.Add(metrics.SendRetries, int64(attempts-1))
+	}
+	if err != nil {
+		e.m.Add(metrics.SendFailures, 1)
+	}
+	return err
 }
 
 // FS returns the engine's file system.
@@ -82,6 +131,40 @@ func (e *Engine) FailWorker(id string) error {
 		return fmt.Errorf("core: no active run")
 	}
 	return ep.Send(ep.Addr(), transport.Message{Kind: kindFail, Payload: failMsg{Worker: id}})
+}
+
+// StallWorker freezes every task currently bound to worker id for d: the
+// tasks stop processing messages and stop heartbeating but announce
+// nothing — an *undetected* hang (GC pause, swap storm, wedged runtime).
+// With heartbeat detection enabled (Options.HeartbeatInterval > 0) the
+// master notices the missed beats, declares the worker failed, and rolls
+// back to the last checkpoint; the stalled goroutines wake afterwards
+// and rejoin at the new generation. Without detection the run sits until
+// the stall ends or the global Timeout fires.
+func (e *Engine) StallWorker(id string, d time.Duration) {
+	until := time.Now().Add(d)
+	e.stallMu.Lock()
+	if cur, ok := e.stalls[id]; !ok || until.After(cur) {
+		e.stalls[id] = until
+	}
+	e.stallMu.Unlock()
+}
+
+// stallPoint blocks the calling task goroutine while its worker is
+// inside an injected hang window.
+func (e *Engine) stallPoint(worker string) {
+	e.stallMu.Lock()
+	until, ok := e.stalls[worker]
+	if ok && !time.Now().Before(until) {
+		delete(e.stalls, worker) // expired: clean up lazily
+		ok = false
+	}
+	e.stallMu.Unlock()
+	if ok {
+		if d := time.Until(until); d > 0 {
+			time.Sleep(d)
+		}
+	}
 }
 
 // IterInfo describes one completed iteration.
@@ -302,6 +385,29 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	e.mu.Lock()
 	e.activeMaster = master
 	e.mu.Unlock()
+
+	// Arm the spec's chaos schedule: self-announced crashes and
+	// undetected hangs, relative to the start of the run.
+	var chaosTimers []*time.Timer
+	for _, nd := range e.spec.Nodes {
+		id := nd.ID
+		if nd.CrashAfter > 0 {
+			chaosTimers = append(chaosTimers, time.AfterFunc(nd.CrashAfter, func() {
+				_ = e.FailWorker(id) // run may already be over
+			}))
+		}
+		if nd.StallAfter > 0 && nd.StallFor > 0 {
+			stallFor := nd.StallFor
+			chaosTimers = append(chaosTimers, time.AfterFunc(nd.StallAfter, func() {
+				e.StallWorker(id, stallFor)
+			}))
+		}
+	}
+	defer func() {
+		for _, tm := range chaosTimers {
+			tm.Stop()
+		}
+	}()
 
 	initTime := time.Since(start)
 	res, err := e.masterLoop(job, phases, aux, run, n, auxN, master, tasks, start)

@@ -46,36 +46,70 @@ type mapTask struct {
 	staticIdx   map[any]any
 	staticPairs []kv.Pair
 	pend        map[int]*mapAccum
+	// seq numbers outgoing shuffle chunks so receivers can discard
+	// network duplicates; loadedGen records the generation whose go
+	// command was already obeyed, making duplicated cmdGo a no-op.
+	seq       int64
+	loadedGen int
+}
+
+// chunkKey identifies one data chunk within an iteration accumulator:
+// the sending task plus its per-sender sequence number. Receivers use
+// it to drop duplicated deliveries.
+type chunkKey struct {
+	from int
+	seq  int64
 }
 
 type mapAccum struct {
 	pairs []kv.Pair
 	ends  int
+	seen  map[chunkKey]bool
 }
 
 // loop is the task body; it returns when the master terminates the run.
+// With heartbeats enabled the task also beats the master every interval
+// — from this goroutine, so a hung task (stalled worker) stops beating
+// and becomes detectable (§3.4.1 extended).
 func (t *mapTask) loop() {
-	for msg := range t.ep.Recv() {
-		switch pl := msg.Payload.(type) {
-		case stateChunk:
-			t.handleState(pl)
-		case cmdMsg:
-			switch pl.Kind {
-			case cmdTerminate:
+	var beat <-chan time.Time
+	if hb := t.e.opts.HeartbeatInterval; hb > 0 {
+		tick := time.NewTicker(hb)
+		defer tick.Stop()
+		beat = tick.C
+	}
+	for {
+		select {
+		case msg, ok := <-t.ep.Recv():
+			if !ok {
 				return
-			case cmdReassign:
-				t.worker = pl.Worker
-				// A relaunched map task loads its static data block from
-				// its DFS replica (§3.4.2), now typically a remote read.
-				if err := t.loadStatic(); err != nil {
-					t.fatal(err)
-					return
-				}
-			case cmdRollback:
-				t.rollback(pl)
-			case cmdGo:
-				t.selfLoad(pl.ToIter)
 			}
+			t.e.stallPoint(t.worker)
+			switch pl := msg.Payload.(type) {
+			case stateChunk:
+				t.handleState(pl)
+			case cmdMsg:
+				switch pl.Kind {
+				case cmdTerminate:
+					return
+				case cmdReassign:
+					t.worker = pl.Worker
+					// A relaunched map task loads its static data block from
+					// its DFS replica (§3.4.2), now typically a remote read.
+					if err := t.loadStatic(); err != nil {
+						t.fatal(err)
+						return
+					}
+				case cmdRollback:
+					t.rollback(pl)
+				case cmdGo:
+					t.selfLoad(pl)
+				}
+			}
+		case <-beat:
+			t.e.stallPoint(t.worker)
+			t.e.m.Add(metrics.HeartbeatsSent, 1)
+			t.send(masterAddr(t.jobName), kindBeat, heartbeatMsg{Worker: t.worker, Phase: t.phase, Task: t.idx}, 0)
 		}
 	}
 }
@@ -85,8 +119,9 @@ func (t *mapTask) fatal(err error) {
 }
 
 func (t *mapTask) send(to, kind string, payload any, size int64) {
-	// Send errors during shutdown are expected (peers already gone).
-	_ = t.ep.Send(to, transport.Message{Kind: kind, Payload: payload, Size: size})
+	// Retried; a frame still failing after that is counted and dropped —
+	// send errors during shutdown are expected (peers already gone).
+	_ = t.e.sendReliable(t.ep, to, transport.Message{Kind: kind, Payload: payload, Size: size})
 }
 
 // loadStatic reads this task's static partition from the DFS.
@@ -111,8 +146,13 @@ func (t *mapTask) loadStatic() error {
 // rollback resets the task to restart from checkpoint iteration
 // cmd.ToIter (§3.4.1): buffered state is discarded and in-flight traffic
 // of the old generation will be dropped by the Gen check. The task acks
-// so the master knows when the whole cluster is quiesced.
+// so the master knows when the whole cluster is quiesced. A duplicated
+// or reordered rollback for a generation already adopted is ignored —
+// re-resetting mid-iteration would desync the task from the master.
 func (t *mapTask) rollback(cmd cmdMsg) {
+	if cmd.Gen <= t.gen {
+		return
+	}
 	t.gen = cmd.Gen
 	t.iter = cmd.ToIter + 1
 	t.pend = make(map[int]*mapAccum)
@@ -122,11 +162,14 @@ func (t *mapTask) rollback(cmd cmdMsg) {
 
 // selfLoad starts iteration toIter+1 on a first-phase map by reading the
 // checkpointed state from DFS — the initial state at startup, or the
-// last durable checkpoint after a failure or migration.
-func (t *mapTask) selfLoad(toIter int) {
-	if !t.selfLoads {
+// last durable checkpoint after a failure or migration. One load per
+// generation: a duplicated go command must not inject the state twice.
+func (t *mapTask) selfLoad(cmd cmdMsg) {
+	toIter := cmd.ToIter
+	if !t.selfLoads || cmd.Gen != t.gen || t.loadedGen >= t.gen {
 		return
 	}
+	t.loadedGen = t.gen
 	parts := []int{t.idx}
 	if t.broadcast {
 		// Broadcast input: the whole state set, i.e. every checkpoint
@@ -145,7 +188,8 @@ func (t *mapTask) selfLoad(toIter int) {
 		}
 		pairs = append(pairs, recs...)
 	}
-	t.handleState(stateChunk{Gen: t.gen, Iter: t.iter, From: -1, Pairs: pairs, End: true})
+	t.seq++
+	t.handleState(stateChunk{Gen: t.gen, Iter: t.iter, From: -1, Seq: t.seq, Pairs: pairs, End: true})
 	if t.broadcast {
 		// The self-load stands in for all feeders at once.
 		if a := t.pend[t.iter]; a != nil {
@@ -162,9 +206,14 @@ func (t *mapTask) handleState(c stateChunk) {
 	}
 	a := t.pend[c.Iter]
 	if a == nil {
-		a = &mapAccum{}
+		a = &mapAccum{seen: make(map[chunkKey]bool)}
 		t.pend[c.Iter] = a
 	}
+	k := chunkKey{from: c.From, seq: c.Seq}
+	if a.seen[k] {
+		return // network-duplicated delivery
+	}
+	a.seen[k] = true
 	if len(c.Pairs) > 0 {
 		if t.stream && c.Iter == t.iter {
 			// Asynchronous execution: join + map immediately (§3.3).
@@ -269,8 +318,9 @@ func (t *mapTask) sendShuffle(iter, r int, end bool) {
 	if t.run.workerOfPhasePair(t.phase, r) != t.worker {
 		t.e.m.Add(metrics.ShuffleRemote, size)
 	}
+	t.seq++
 	t.send(t.redAddrs[r], kindShuffle, shuffleChunk{
-		Gen: t.gen, Iter: iter, FromMap: t.idx, Pairs: pairs, End: end,
+		Gen: t.gen, Iter: iter, FromMap: t.idx, Seq: t.seq, Pairs: pairs, End: end,
 	}, size)
 }
 

@@ -22,17 +22,23 @@ func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
 
 	sendCmd := func(addrs []string, c cmdMsg) {
 		for _, a := range addrs {
-			_ = master.Send(a, transport.Message{Kind: kindCmd, Payload: c})
+			// Command frames drive the protocol forward; retried sends
+			// keep a transient link fault from deadlocking the run.
+			_ = e.sendReliable(master, a, transport.Message{Kind: kindCmd, Payload: c})
 		}
 	}
 
 	gen := 1
 	rbToIter := 0
 	acks := 0
-	ckptLast := 0 // latest checkpoint durable on all parts
+	ackSeen := make(map[string]bool) // dedup of rollback acks by endpoint address
+	ckptLast := 0                    // latest checkpoint durable on all parts
 	reports := make(map[int]map[int]reportMsg)
+	reportDone := make(map[int]bool) // iterations whose barrier already fired
 	auxBuf := make(map[int]map[int][]kv.Pair)
+	auxHandled := make(map[int]bool) // aux iterations already decided
 	ckptAcks := make(map[int]map[int]bool)
+	finalSeen := make(map[int]bool)
 	perIter := make(map[int]IterInfo)
 	live := make(map[string]bool, len(e.spec.Nodes))
 	for _, w := range e.spec.IDs() {
@@ -62,9 +68,12 @@ func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
 	rollbackAll := func(toIter int) {
 		gen++
 		acks = 0
+		ackSeen = make(map[string]bool)
 		rbToIter = toIter
 		reports = make(map[int]map[int]reportMsg)
+		reportDone = make(map[int]bool)
 		auxBuf = make(map[int]map[int][]kv.Pair)
+		auxHandled = make(map[int]bool)
 		ckptAcks = make(map[int]map[int]bool)
 		pendingProceed = map[int]bool{}
 		if auxDone > toIter {
@@ -103,33 +112,140 @@ func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
 		return best
 	}
 
+	// failWorker is the single recovery path for crashed, hung, and
+	// injected failures: mark the worker dead, re-place every pair that
+	// lived on it, then roll the whole computation back to the last
+	// durable checkpoint (§3.4.1). Returns a non-nil error only when no
+	// worker is left to recover onto.
+	failWorker := func(worker string) error {
+		if !live[worker] || terminated {
+			return nil
+		}
+		live[worker] = false
+		if !anyLive(live) {
+			terminate()
+			return fmt.Errorf("core: job %s: all workers failed", job.Name)
+		}
+		e.fs.FailNode(worker)
+		for i := 0; i < n; i++ {
+			if run.workerOfPhasePair(0, i) == worker {
+				nw := leastLoaded()
+				run.setPairWorker(i, nw, false)
+				sendCmd(ts.byPair[i], cmdMsg{Kind: cmdReassign, Worker: nw})
+			}
+		}
+		for i := 0; i < auxN; i++ {
+			if run.workerOfPhasePair(len(phases), i) == worker {
+				nw := leastLoaded()
+				run.setPairWorker(i, nw, true)
+				sendCmd(ts.auxByPair[i], cmdMsg{Kind: cmdReassign, Worker: nw})
+			}
+		}
+		recoveries++
+		rollbackAll(ckptLast)
+		return nil
+	}
+
+	// hostingWorkers lists the workers that currently host at least one
+	// task pair — the set whose heartbeats matter. A live worker all of
+	// whose pairs migrated away legitimately goes silent.
+	hostingWorkers := func() map[string]bool {
+		out := make(map[string]bool, len(live))
+		run.mu.RLock()
+		for _, w := range run.pairWorker {
+			out[w] = true
+		}
+		for _, w := range run.auxWorker {
+			out[w] = true
+		}
+		run.mu.RUnlock()
+		return out
+	}
+
 	// Kick the computation off: reset everyone to checkpoint 0, then
 	// (on full acknowledgement) tell the first phase's maps to load it.
 	rollbackAll(0)
 
-	timeout := time.NewTimer(e.opts.Timeout)
-	defer timeout.Stop()
+	// Heartbeat bookkeeping: every task beats with its bound worker's
+	// name; a hosting worker silent for HeartbeatMisses intervals is
+	// declared failed — the detection half of §3.4.1, which the paper
+	// delegates to Hadoop's heartbeat machinery.
+	var beatCheck <-chan time.Time
+	if e.opts.HeartbeatInterval > 0 {
+		tick := time.NewTicker(e.opts.HeartbeatInterval)
+		defer tick.Stop()
+		beatCheck = tick.C
+	}
+	lastBeat := make(map[string]time.Time, len(live))
+	for w := range live {
+		lastBeat[w] = time.Now()
+	}
+
+	// Progress timeout, deadline-tracked: the deadline advances on every
+	// received message; the timer only ever *checks* it, so a fire that
+	// raced a delivered message cannot abort a healthy run (the old
+	// Reset-without-drain idiom could double-fire).
+	deadline := time.Now().Add(e.opts.Timeout)
+	timer := time.NewTimer(e.opts.Timeout)
+	defer timer.Stop()
 	for {
-		timeout.Reset(e.opts.Timeout)
 		var msg transport.Message
 		select {
 		case m, ok := <-master.Recv():
 			if !ok {
 				return nil, fmt.Errorf("core: job %s: master endpoint closed", job.Name)
 			}
+			deadline = time.Now().Add(e.opts.Timeout)
 			msg = m
-		case <-timeout.C:
-			return nil, fmt.Errorf("core: job %s: no progress for %v (deadlock or lost tasks)", job.Name, e.opts.Timeout)
+		case <-beatCheck:
+			limit := time.Duration(e.opts.HeartbeatMisses) * e.opts.HeartbeatInterval
+			hosting := hostingWorkers()
+			for w := range hosting {
+				if live[w] && time.Since(lastBeat[w]) > limit {
+					e.m.Add(metrics.FailuresDetected, 1)
+					if err := failWorker(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			continue
+		case <-timer.C:
+			// Drain pending progress before declaring silence: with both
+			// channels ready the select may pick the timer even though a
+			// message is waiting.
+			select {
+			case m, ok := <-master.Recv():
+				if !ok {
+					return nil, fmt.Errorf("core: job %s: master endpoint closed", job.Name)
+				}
+				deadline = time.Now().Add(e.opts.Timeout)
+				msg = m
+			default:
+				if time.Now().After(deadline) {
+					return nil, fmt.Errorf("core: job %s: no progress for %v (deadlock or lost tasks)", job.Name, e.opts.Timeout)
+				}
+				timer.Reset(time.Until(deadline))
+				continue
+			}
+			timer.Reset(e.opts.Timeout)
 		}
 
 		switch pl := msg.Payload.(type) {
+		case heartbeatMsg:
+			if live[pl.Worker] {
+				lastBeat[pl.Worker] = time.Now()
+			}
+
 		case rbAckMsg:
-			if pl.Gen != gen {
+			// Dedup by sender endpoint: map and reduce tasks of one pair
+			// share (Phase, Task), but each owns a unique address.
+			if pl.Gen != gen || ackSeen[msg.From] {
 				continue
 			}
+			ackSeen[msg.From] = true
 			acks++
 			if acks == totalTasks {
-				sendCmd(ts.phase0Maps, cmdMsg{Kind: cmdGo, ToIter: rbToIter})
+				sendCmd(ts.phase0Maps, cmdMsg{Kind: cmdGo, Gen: gen, ToIter: rbToIter})
 			}
 
 		case taskErrMsg:
@@ -137,34 +253,9 @@ func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
 			return nil, fmt.Errorf("core: job %s: task %d/%d failed: %s", job.Name, pl.Phase, pl.Task, pl.Err)
 
 		case failMsg:
-			if !live[pl.Worker] || terminated {
-				continue
+			if err := failWorker(pl.Worker); err != nil {
+				return nil, err
 			}
-			live[pl.Worker] = false
-			if !anyLive(live) {
-				terminate()
-				return nil, fmt.Errorf("core: job %s: all workers failed", job.Name)
-			}
-			e.fs.FailNode(pl.Worker)
-			// Re-place every pair that lived on the failed worker, then
-			// roll the whole computation back to the last durable
-			// checkpoint (§3.4.1).
-			for i := 0; i < n; i++ {
-				if run.workerOfPhasePair(0, i) == pl.Worker {
-					nw := leastLoaded()
-					run.setPairWorker(i, nw, false)
-					sendCmd(ts.byPair[i], cmdMsg{Kind: cmdReassign, Worker: nw})
-				}
-			}
-			for i := 0; i < auxN; i++ {
-				if run.workerOfPhasePair(len(phases), i) == pl.Worker {
-					nw := leastLoaded()
-					run.setPairWorker(i, nw, true)
-					sendCmd(ts.auxByPair[i], cmdMsg{Kind: cmdReassign, Worker: nw})
-				}
-			}
-			recoveries++
-			rollbackAll(ckptLast)
 
 		case ckptMsg:
 			if pl.Gen != gen {
@@ -179,7 +270,7 @@ func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
 			}
 
 		case auxOutMsg:
-			if pl.Gen != gen || terminated {
+			if pl.Gen != gen || terminated || auxHandled[pl.Iter] {
 				continue
 			}
 			if auxBuf[pl.Iter] == nil {
@@ -187,6 +278,7 @@ func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
 			}
 			auxBuf[pl.Iter][pl.Task] = pl.Pairs
 			if len(auxBuf[pl.Iter]) == auxN {
+				auxHandled[pl.Iter] = true
 				var all []kv.Pair
 				for i := 0; i < auxN; i++ {
 					all = append(all, auxBuf[pl.Iter][i]...)
@@ -218,7 +310,7 @@ func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
 			}
 
 		case reportMsg:
-			if pl.Gen != gen || terminated {
+			if pl.Gen != gen || terminated || reportDone[pl.Iter] {
 				continue
 			}
 			if reports[pl.Iter] == nil {
@@ -229,8 +321,10 @@ func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
 				continue
 			}
 			// Iteration boundary: merge the local distance values
-			// (§3.1.2) and the timing reports (§3.4.2).
+			// (§3.1.2) and the timing reports (§3.4.2). Mark the boundary
+			// handled so a duplicated report cannot re-fire it.
 			iter := pl.Iter
+			reportDone[iter] = true
 			var dist float64
 			var maxElapsed time.Duration
 			for _, r := range reports[iter] {
@@ -279,6 +373,10 @@ func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
 			if pl.Err != "" {
 				return nil, fmt.Errorf("core: job %s: final write of part %d: %s", job.Name, pl.Task, pl.Err)
 			}
+			if finalSeen[pl.Task] {
+				continue
+			}
+			finalSeen[pl.Task] = true
 			finals++
 			outputRecords += pl.Records
 			if finals == n {
@@ -361,7 +459,7 @@ func (e *Engine) maybeMigrate(master transport.Endpoint, run *runState, ts *task
 	}
 	run.setPairWorker(slow.task, fast, false)
 	for _, a := range ts.byPair[slow.task] {
-		_ = master.Send(a, transport.Message{Kind: kindCmd, Payload: cmdMsg{Kind: cmdReassign, Worker: fast}})
+		_ = e.sendReliable(master, a, transport.Message{Kind: kindCmd, Payload: cmdMsg{Kind: cmdReassign, Worker: fast}})
 	}
 	migratedCount[slow.task]++
 	e.m.Add(metrics.TaskMigrations, 1)

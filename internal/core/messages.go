@@ -22,26 +22,33 @@ const (
 	kindFinal   = "final"   // reduce → master final output written
 	kindCmd     = "cmd"     // master → task control
 	kindFail    = "fail"    // external → master worker failure injection
+	kindBeat    = "beat"    // task → master periodic liveness heartbeat
 )
 
 // stateChunk carries iterated state records from a reduce task to a map
 // task over the pair's persistent connection (or a broadcast copy of
 // them). Gen guards against messages from before a rollback; Iter is the
 // iteration the receiving map will process. From identifies the feeding
-// reduce task; End marks its last chunk for this iteration.
+// reduce task; End marks its last chunk for this iteration. Seq is a
+// per-sender monotone counter: together with From it lets the receiver
+// discard network-duplicated chunks, so data flows stay correct over
+// at-least-once transports.
 type stateChunk struct {
 	Gen   int
 	Iter  int
 	From  int
+	Seq   int64
 	Pairs []kv.Pair
 	End   bool
 }
 
 // shuffleChunk carries map output to a reduce task of the same phase.
+// (FromMap, Seq) deduplicates, as for stateChunk.
 type shuffleChunk struct {
 	Gen     int
 	Iter    int
 	FromMap int
+	Seq     int64
 	Pairs   []kv.Pair
 	End     bool
 }
@@ -122,6 +129,16 @@ type failMsg struct {
 	Worker string
 }
 
+// heartbeatMsg is a task's periodic liveness beat (§3.4.1 extended):
+// the master refreshes the deadline of the worker the task is bound to.
+// A worker that stops beating for HeartbeatMisses intervals is declared
+// failed through the same rollback machinery injected failures use.
+type heartbeatMsg struct {
+	Worker string
+	Phase  int
+	Task   int
+}
+
 // taskErrMsg reports a fatal user-function or I/O error from a task; the
 // master aborts the run.
 type taskErrMsg struct {
@@ -141,4 +158,5 @@ func init() {
 	kv.RegisterWireType(failMsg{})
 	kv.RegisterWireType(taskErrMsg{})
 	kv.RegisterWireType(rbAckMsg{})
+	kv.RegisterWireType(heartbeatMsg{})
 }

@@ -65,34 +65,55 @@ type reduceTask struct {
 	// the computation never runs past the decided stop.
 	gated bool
 	held  map[int][]kv.Pair
+	// seq numbers outgoing state chunks for receiver-side duplicate
+	// suppression.
+	seq int64
 }
 
 type redAccum struct {
 	pairs []kv.Pair
 	ends  int
+	seen  map[chunkKey]bool
 }
 
 func (t *reduceTask) loop() {
-	for msg := range t.ep.Recv() {
-		switch pl := msg.Payload.(type) {
-		case shuffleChunk:
-			t.handleShuffle(pl)
-		case cmdMsg:
-			switch pl.Kind {
-			case cmdTerminate:
-				t.writeFinal()
+	var beat <-chan time.Time
+	if hb := t.e.opts.HeartbeatInterval; hb > 0 {
+		tick := time.NewTicker(hb)
+		defer tick.Stop()
+		beat = tick.C
+	}
+	for {
+		select {
+		case msg, ok := <-t.ep.Recv():
+			if !ok {
 				return
-			case cmdReassign:
-				t.worker = pl.Worker
-			case cmdRollback:
-				t.rollback(pl)
-			case cmdProceed:
-				if pairs, ok := t.held[pl.ToIter]; ok {
-					delete(t.held, pl.ToIter)
-					t.outBuf = pairs
-					t.deliverMain(pl.ToIter)
+			}
+			t.e.stallPoint(t.worker)
+			switch pl := msg.Payload.(type) {
+			case shuffleChunk:
+				t.handleShuffle(pl)
+			case cmdMsg:
+				switch pl.Kind {
+				case cmdTerminate:
+					t.writeFinal()
+					return
+				case cmdReassign:
+					t.worker = pl.Worker
+				case cmdRollback:
+					t.rollback(pl)
+				case cmdProceed:
+					if pairs, ok := t.held[pl.ToIter]; ok {
+						delete(t.held, pl.ToIter)
+						t.outBuf = pairs
+						t.deliverMain(pl.ToIter)
+					}
 				}
 			}
+		case <-beat:
+			t.e.stallPoint(t.worker)
+			t.e.m.Add(metrics.HeartbeatsSent, 1)
+			t.send(masterAddr(t.jobName), kindBeat, heartbeatMsg{Worker: t.worker, Phase: t.phase, Task: t.idx}, 0)
 		}
 	}
 }
@@ -102,13 +123,16 @@ func (t *reduceTask) fatal(err error) {
 }
 
 func (t *reduceTask) send(to, kind string, payload any, size int64) {
-	_ = t.ep.Send(to, transport.Message{Kind: kind, Payload: payload, Size: size})
+	_ = t.e.sendReliable(t.ep, to, transport.Message{Kind: kind, Payload: payload, Size: size})
 }
 
 // rollback resets to checkpoint iteration cmd.ToIter; the termination
 // phase reloads its previous-state table from the checkpoint so the
 // next distance measurement is taken against the right baseline.
 func (t *reduceTask) rollback(cmd cmdMsg) {
+	if cmd.Gen <= t.gen {
+		return // duplicated or reordered rollback: already adopted
+	}
 	t.gen = cmd.Gen
 	t.iter = cmd.ToIter + 1
 	t.pend = make(map[int]*redAccum)
@@ -135,9 +159,14 @@ func (t *reduceTask) handleShuffle(c shuffleChunk) {
 	}
 	a := t.pend[c.Iter]
 	if a == nil {
-		a = &redAccum{}
+		a = &redAccum{seen: make(map[chunkKey]bool)}
 		t.pend[c.Iter] = a
 	}
+	k := chunkKey{from: c.FromMap, seq: c.Seq}
+	if a.seen[k] {
+		return // network-duplicated delivery
+	}
+	a.seen[k] = true
 	a.pairs = append(a.pairs, c.Pairs...)
 	if c.End {
 		a.ends++
@@ -249,6 +278,7 @@ func (t *reduceTask) deliverChunk(addrs []string, phase, tagIter int, pairs []kv
 	for _, p := range pairs {
 		size += int64(t.job.Ops.PairSize(p))
 	}
+	t.seq++
 	for i, addr := range addrs {
 		tgt := i
 		if len(addrs) == 1 {
@@ -259,7 +289,7 @@ func (t *reduceTask) deliverChunk(addrs []string, phase, tagIter int, pairs []kv
 			t.e.m.Add(metrics.StateRemote, size)
 		}
 		t.send(addr, kindState, stateChunk{
-			Gen: t.gen, Iter: tagIter, From: t.idx, Pairs: pairs, End: end,
+			Gen: t.gen, Iter: tagIter, From: t.idx, Seq: t.seq, Pairs: pairs, End: end,
 		}, size)
 	}
 }

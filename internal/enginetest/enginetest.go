@@ -30,17 +30,32 @@ func New(workers int) (*Env, error) {
 
 // NewSpec builds an Env over an explicit cluster spec.
 func NewSpec(spec cluster.Spec) (*Env, error) {
+	env, _, err := NewChaos(spec, core.Options{Timeout: 60 * time.Second}, nil)
+	return env, err
+}
+
+// NewChaos builds an Env whose core engine runs over a FaultyNetwork
+// with the given fault profile (nil profile = clean channel transport),
+// for chaos tests. The returned FaultyNetwork exposes the injection
+// counters; it is nil when fopts is nil.
+func NewChaos(spec cluster.Spec, copts core.Options, fopts *transport.FaultyOptions) (*Env, *transport.FaultyNetwork, error) {
 	m := metrics.NewSet()
 	fs := dfs.New(dfs.Config{BlockSize: 1 << 16, Replication: 2}, spec.IDs(), m)
-	ce, err := core.NewEngine(fs, transport.NewChanNetwork(), spec, m, core.Options{Timeout: 60 * time.Second})
+	var net transport.Network = transport.NewChanNetwork()
+	var fnet *transport.FaultyNetwork
+	if fopts != nil {
+		fnet = transport.NewFaultyNetwork(net, *fopts)
+		net = fnet
+	}
+	ce, err := core.NewEngine(fs, net, spec, m, copts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	me, err := mapreduce.NewEngine(fs, spec, m, mapreduce.Options{LocalityAware: true})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &Env{Core: ce, MR: me, FS: fs, M: m, Spec: spec}, nil
+	return &Env{Core: ce, MR: me, FS: fs, M: m, Spec: spec}, fnet, nil
 }
 
 // At returns a node id records can be read/written at.

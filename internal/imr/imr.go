@@ -36,6 +36,9 @@ type Options struct {
 	// TCP uses real loopback sockets between tasks instead of
 	// in-process channels.
 	TCP bool
+	// Network overrides the task transport entirely — e.g. a
+	// transport.FaultyNetwork for chaos testing. TCP is then ignored.
+	Network transport.Network
 	// DFS overrides the file system configuration.
 	DFS *dfs.Config
 	// JobInitOverhead / TaskStartOverhead emulate Hadoop scheduling
@@ -100,6 +103,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 	if opts.TCP {
 		net = transport.NewTCPNetwork()
 	}
+	if opts.Network != nil {
+		net = opts.Network
+	}
 	coreOpts := core.Options{}
 	if opts.Core != nil {
 		coreOpts = *opts.Core
@@ -136,6 +142,11 @@ func (c *Cluster) CoreEngine() *core.Engine { return c.core }
 
 // FailWorker injects a worker crash into the active iterative run.
 func (c *Cluster) FailWorker(id string) error { return c.core.FailWorker(id) }
+
+// StallWorker freezes worker id's tasks for d without any announcement
+// — an undetected hang, recoverable only through heartbeat detection
+// (core.Options.HeartbeatInterval).
+func (c *Cluster) StallWorker(id string, d time.Duration) { c.core.StallWorker(id, d) }
 
 // Write stores records as a DFS file at the first worker.
 func (c *Cluster) Write(path string, recs []kv.Pair, ops kv.Ops) error {

@@ -12,6 +12,7 @@ import (
 	"imapreduce/internal/kv"
 	"imapreduce/internal/mapreduce"
 	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
 )
 
 func TestBatchJob(t *testing.T) {
@@ -164,6 +165,65 @@ func TestOptionsPlumbing(t *testing.T) {
 	}
 	if err := c.FailWorker("worker-0"); err == nil {
 		t.Fatal("FailWorker with no active run should error")
+	}
+}
+
+// TestNetworkOverrideAndStall runs an iterative job through the facade
+// over a duplicating FaultyNetwork, with heartbeats on and a short
+// undetected stall injected mid-run via the passthrough.
+func TestNetworkOverrideAndStall(t *testing.T) {
+	fnet := transport.NewFaultyNetwork(transport.NewChanNetwork(),
+		transport.FaultyOptions{Seed: 5, DupRate: 0.1})
+	c, err := NewCluster(Options{
+		Workers: 2,
+		Network: fnet,
+		Core: &core.Options{
+			Timeout:           20 * time.Second,
+			HeartbeatInterval: 10 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []kv.Pair
+	for i := 0; i < 12; i++ {
+		recs = append(recs, kv.Pair{Key: int64(i), Value: 1.0})
+	}
+	if err := c.Write("/state", recs, kv.OpsFor[int64, float64](nil)); err != nil {
+		t.Fatal(err)
+	}
+	// A stall shorter than the detection window: the run just rides it
+	// out; nothing may be lost or double-applied.
+	time.AfterFunc(5*time.Millisecond, func() { c.StallWorker("worker-1", 15*time.Millisecond) })
+	res, err := c.RunIterative(&core.Job{
+		Name: "halve-faulty", StatePath: "/state", MaxIter: 8, CheckpointEvery: 2,
+		Map: func(key, state, static any, emit kv.Emit) error {
+			emit(key, state)
+			return nil
+		},
+		Reduce: func(key any, states []any) (any, error) {
+			time.Sleep(500 * time.Microsecond)
+			return states[0].(float64) / 2, nil
+		},
+		Ops: kv.OpsFor[int64, float64](nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.ReadAll(res.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 12 {
+		t.Fatalf("%d outputs", len(out))
+	}
+	for k, v := range out {
+		if math.Abs(v.(float64)-1.0/256) > 1e-12 {
+			t.Fatalf("key %v = %v", k, v)
+		}
+	}
+	if fnet.Dups() == 0 {
+		t.Fatal("faulty network not in the path")
 	}
 }
 

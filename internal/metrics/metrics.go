@@ -29,6 +29,10 @@ const (
 	Checkpoints      = "checkpoints.written" // state checkpoints dumped to DFS
 	SpeculativeTasks = "tasks.speculative"   // speculative (backup) task launches
 	TaskRetries      = "tasks.retries"       // failed task re-executions
+	SendRetries      = "send.retries"        // transport sends that needed retrying
+	SendFailures     = "send.failures"       // sends abandoned after all retries
+	HeartbeatsSent   = "heartbeats.sent"     // worker→master liveness beats
+	FailuresDetected = "failures.detected"   // workers declared dead by missed heartbeats
 )
 
 // Set is a registry of counters and timers for one engine run.

@@ -127,6 +127,24 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 func (e *tcpEndpoint) Addr() string { return e.addr }
 
 func (e *tcpEndpoint) Send(to string, msg Message) error {
+	err := e.sendOnce(to, msg)
+	if err == nil {
+		return nil
+	}
+	// The persistent connection may have died since the last send (peer
+	// restart, half-open socket, encode failure marking it dead). The
+	// frame was lost with it, so re-dial through connTo once and
+	// retransmit instead of surfacing a loss the caller cannot see.
+	// Retransmission over a fresh stream is at-least-once: if the first
+	// write reached the peer before the connection died, the receiver
+	// sees a duplicate.
+	if err2 := e.sendOnce(to, msg); err2 != nil {
+		return err2
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) sendOnce(to string, msg Message) error {
 	conn, err := e.connTo(to)
 	if err != nil {
 		return err
