@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short ci clean
+.PHONY: all build vet test race short race-short bench bench-smoke ci clean
 
 all: ci
 
@@ -23,7 +23,24 @@ race:
 short:
 	$(GO) test -short ./...
 
-ci: vet build race
+# Race-enabled quick loop: the short suite under the race detector.
+race-short:
+	$(GO) test -race -short ./...
+
+# Data-plane benchmarks: the kv hot paths with allocation stats, the
+# engine-level shuffle/iteration benchmarks, then the JSON snapshot
+# that cmd/imrbench writes for regression comparison.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/kv ./internal/core
+	$(GO) test -run '^$$' -bench 'Fig0[46]' -benchtime 3x .
+	$(GO) run ./cmd/imrbench -bench BENCH_core.json
+
+# One-iteration benchmark compile-and-run: catches bit-rot in every
+# benchmark without paying for steady-state timing.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/kv ./internal/graph ./internal/mapreduce ./internal/core
+
+ci: vet build race-short bench-smoke
 
 clean:
 	$(GO) clean ./...

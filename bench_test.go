@@ -28,11 +28,19 @@ import (
 // configuration.
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
+	benchFigureOn(b, id, "")
+}
+
+// benchFigureOn runs one experiment per benchmark iteration at the Quick
+// configuration over the named transport backend.
+func benchFigureOn(b *testing.B, id, transport string) {
+	b.Helper()
 	run, err := experiments.ByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
 	cfg := experiments.Quick()
+	cfg.Transport = transport
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := run(cfg); err != nil {
@@ -59,6 +67,12 @@ func BenchmarkFig14ParallelEfficiency(b *testing.B) { benchFigure(b, "fig14") }
 func BenchmarkFig16KMeans(b *testing.B)             { benchFigure(b, "fig16") }
 func BenchmarkFig18MatrixPower(b *testing.B)        { benchFigure(b, "fig18") }
 func BenchmarkFig20KMeansConvergence(b *testing.B)  { benchFigure(b, "fig20") }
+
+// TCP-backend variants of the local-cluster figures: the same workloads
+// with every state and shuffle chunk crossing real loopback sockets, so
+// the wire codec and framing costs are on the measured path.
+func BenchmarkFig06PageRankGoogleTCP(b *testing.B) { benchFigureOn(b, "fig06", "tcp") }
+func BenchmarkFig04SSSPDBLPTCP(b *testing.B)       { benchFigureOn(b, "fig04", "tcp") }
 
 // --- Ablation benchmarks -------------------------------------------------
 

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"imapreduce/internal/experiments"
+	"imapreduce/internal/kv"
+)
+
+// benchFile is the BENCH_core.json layout. Baseline is preserved
+// verbatim across runs so a checked-in before-snapshot survives
+// regeneration of the results.
+type benchFile struct {
+	Config   string                        `json:"config"`
+	Baseline json.RawMessage               `json:"baseline,omitempty"`
+	Results  []experiments.CoreBenchResult `json:"results"`
+}
+
+// runBench measures the data plane — the kv hot-path microbenchmarks
+// plus full PageRank/SSSP jobs on both transports — and writes the
+// snapshot to path.
+func runBench(path string, cfg experiments.Config) error {
+	results := microBench()
+	engine, err := experiments.CoreBench(cfg, 2)
+	if err != nil {
+		return err
+	}
+	results = append(results, engine...)
+
+	out := benchFile{Config: "quick", Results: results}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old struct {
+			Baseline json.RawMessage `json:"baseline"`
+		}
+		if json.Unmarshal(prev, &old) == nil {
+			out.Baseline = old.Baseline
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-28s %12d ns/op", r.Name, r.NsPerOp)
+		if r.AllocsPerOp > 0 || r.BytesPerOp > 0 {
+			fmt.Printf(" %10d B/op %8d allocs/op", r.BytesPerOp, r.AllocsPerOp)
+		}
+		if r.ShuffleBytes > 0 {
+			fmt.Printf(" %12d shuffle B", r.ShuffleBytes)
+		}
+		fmt.Println()
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+// microBench times the kv hot paths (encode, decode, sort, group) on a
+// duplicate-heavy int64→float64 workload via testing.Benchmark.
+func microBench() []experiments.CoreBenchResult {
+	const n, keys = 4096, 512
+	ops := kv.OpsFor[int64, float64](func(float64) int { return 8 })
+	rng := rand.New(rand.NewSource(1))
+	src := make([]kv.Pair, n)
+	for i := range src {
+		src[i] = kv.Pair{Key: int64(rng.Intn(keys)), Value: rng.Float64()}
+	}
+	enc, ok := kv.AppendPairs(nil, src)
+	if !ok {
+		panic("imrbench: builtin pairs must encode")
+	}
+
+	run := func(name string, fn func(b *testing.B)) experiments.CoreBenchResult {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		return experiments.CoreBenchResult{
+			Name:        name,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+
+	return []experiments.CoreBenchResult{
+		run("kv/encodePairs/n=4096", func(b *testing.B) {
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				buf, _ = kv.AppendPairs(buf[:0], src)
+			}
+		}),
+		run("kv/decodePairs/n=4096", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := kv.DecodePairs(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		run("kv/sortPairs/n=4096", func(b *testing.B) {
+			work := make([]kv.Pair, n)
+			for i := 0; i < b.N; i++ {
+				copy(work, src)
+				ops.SortPairs(work)
+			}
+		}),
+		run("kv/groupPairs/n=4096", func(b *testing.B) {
+			work := make([]kv.Pair, n)
+			for i := 0; i < b.N; i++ {
+				copy(work, src)
+				kv.GroupPairs(work, ops)
+			}
+		}),
+	}
+}

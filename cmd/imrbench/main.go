@@ -9,6 +9,7 @@
 //	imrbench -fig fig08,fig11 # selected experiments
 //	imrbench -quick           # small/fast configuration
 //	imrbench -scale 50        # larger datasets (paper/50)
+//	imrbench -bench out.json  # data-plane benchmark snapshot (JSON)
 package main
 
 import (
@@ -28,12 +29,28 @@ func main() {
 		workers = flag.Int("workers", 0, "override local cluster size")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		csvDir  = flag.String("csv", "", "also write each figure's series as CSV into this directory")
+		bench   = flag.String("bench", "", "run the data-plane benchmark suite at the quick configuration and write results as JSON to this path")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	if *bench != "" {
+		cfg := experiments.Quick()
+		if *scale > 0 {
+			cfg.Scale = *scale
+		}
+		if *workers > 0 {
+			cfg.Workers = *workers
+		}
+		if err := runBench(*bench, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "imrbench:", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,41 @@
+package matpower
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"imapreduce/internal/kv"
+)
+
+// TestJoinCodecsRoundTrip covers the unexported join-phase record types
+// the external codec tests cannot reach.
+func TestJoinCodecsRoundTrip(t *testing.T) {
+	pairs := []kv.Pair{
+		{Key: int64(1), Value: taggedEntry{FromM: true, I: 3, V: -1.5}},
+		{Key: int64(2), Value: taggedEntry{FromM: false, I: -9, V: 2.25}},
+		{Key: int64(3), Value: joined{
+			Ms: []taggedEntry{{FromM: true, I: 0, V: 1}},
+			Ns: []taggedEntry{{I: 1, V: 2}, {I: 2, V: 3}},
+		}},
+		{Key: int64(4), Value: joined{}},
+	}
+	enc, ok := kv.AppendPairs(nil, pairs)
+	if !ok {
+		t.Fatal("AppendPairs refused join types")
+	}
+	dec, n, err := kv.DecodePairs(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if !reflect.DeepEqual(pairs, dec) {
+		t.Fatalf("round trip mismatch:\n in  %#v\n out %#v", pairs, dec)
+	}
+	re, ok := kv.AppendPairs(nil, dec)
+	if !ok || !bytes.Equal(enc, re) {
+		t.Fatal("re-encoding decoded pairs changed the bytes")
+	}
+}

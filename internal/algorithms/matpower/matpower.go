@@ -48,11 +48,95 @@ type Col struct {
 // Bytes implements kv.Sized.
 func (c Col) Bytes() int { return 12*len(c.Idx) + 4 }
 
+func appendEntries(buf []byte, es []Entry) []byte {
+	buf = kv.AppendUvarint(buf, uint64(len(es)))
+	for _, e := range es {
+		buf = kv.AppendFloat64(kv.AppendVarint(buf, int64(e.K)), e.V)
+	}
+	return buf
+}
+
+func entriesAt(data []byte) ([]Entry, int, error) {
+	l, n, err := kv.Uvarint(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if l == 0 {
+		return nil, n, nil
+	}
+	out := make([]Entry, l)
+	for i := range out {
+		k, m, err := kv.Varint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		v, m, err := kv.Float64At(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		out[i] = Entry{K: int32(k), V: v}
+	}
+	return out, n, nil
+}
+
 func init() {
 	kv.RegisterWireType(Entry{})
 	kv.RegisterWireType(Row{})
 	kv.RegisterWireType(Col{})
 	kv.RegisterWireType([]Entry{})
+	kv.RegisterValueCodec(Entry{}, kv.ValueCodec{
+		Append: func(buf []byte, v any) ([]byte, bool) {
+			e := v.(Entry)
+			return kv.AppendFloat64(kv.AppendVarint(buf, int64(e.K)), e.V), true
+		},
+		Decode: func(data []byte) (any, int, error) {
+			k, n, err := kv.Varint(data)
+			if err != nil {
+				return nil, 0, err
+			}
+			v, m, err := kv.Float64At(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			return Entry{K: int32(k), V: v}, n + m, nil
+		},
+	})
+	kv.RegisterValueCodec(Row{}, kv.ValueCodec{
+		Append: func(buf []byte, v any) ([]byte, bool) {
+			return appendEntries(buf, v.(Row).Entries), true
+		},
+		Decode: func(data []byte) (any, int, error) {
+			es, n, err := entriesAt(data)
+			return Row{Entries: es}, n, err
+		},
+	})
+	kv.RegisterValueCodec([]Entry{}, kv.ValueCodec{
+		Append: func(buf []byte, v any) ([]byte, bool) {
+			return appendEntries(buf, v.([]Entry)), true
+		},
+		Decode: func(data []byte) (any, int, error) {
+			return entriesAt(data)
+		},
+	})
+	kv.RegisterValueCodec(Col{}, kv.ValueCodec{
+		Append: func(buf []byte, v any) ([]byte, bool) {
+			c := v.(Col)
+			return kv.AppendFloat64Slice(kv.AppendInt32Slice(buf, c.Idx), c.Val), true
+		},
+		Decode: func(data []byte) (any, int, error) {
+			idx, n, err := kv.Int32SliceAt(data)
+			if err != nil {
+				return nil, 0, err
+			}
+			val, m, err := kv.Float64SliceAt(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			return Col{Idx: idx, Val: val}, n + m, nil
+		},
+	})
 }
 
 // Dense is a square matrix in row-major order.
@@ -240,9 +324,93 @@ type joined struct {
 
 func (j joined) Bytes() int { return 16 * (len(j.Ms) + len(j.Ns)) }
 
+func appendTagged(buf []byte, es []taggedEntry) []byte {
+	buf = kv.AppendUvarint(buf, uint64(len(es)))
+	for _, e := range es {
+		f := byte(0)
+		if e.FromM {
+			f = 1
+		}
+		buf = kv.AppendFloat64(kv.AppendVarint(append(buf, f), int64(e.I)), e.V)
+	}
+	return buf
+}
+
+func taggedAt(data []byte) ([]taggedEntry, int, error) {
+	l, n, err := kv.Uvarint(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if l == 0 {
+		return nil, n, nil
+	}
+	out := make([]taggedEntry, l)
+	for j := range out {
+		if len(data) <= n {
+			return nil, 0, fmt.Errorf("matpower: truncated tagged entry")
+		}
+		fromM := data[n] != 0
+		n++
+		i, m, err := kv.Varint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		v, m, err := kv.Float64At(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		out[j] = taggedEntry{FromM: fromM, I: int32(i), V: v}
+	}
+	return out, n, nil
+}
+
 func init() {
 	kv.RegisterWireType(taggedEntry{})
 	kv.RegisterWireType(joined{})
+	kv.RegisterValueCodec(taggedEntry{}, kv.ValueCodec{
+		Append: func(buf []byte, v any) ([]byte, bool) {
+			e := v.(taggedEntry)
+			f := byte(0)
+			if e.FromM {
+				f = 1
+			}
+			return kv.AppendFloat64(kv.AppendVarint(append(buf, f), int64(e.I)), e.V), true
+		},
+		Decode: func(data []byte) (any, int, error) {
+			if len(data) == 0 {
+				return nil, 0, fmt.Errorf("matpower: truncated tagged entry")
+			}
+			fromM := data[0] != 0
+			i, n, err := kv.Varint(data[1:])
+			if err != nil {
+				return nil, 0, err
+			}
+			v, m, err := kv.Float64At(data[1+n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			return taggedEntry{FromM: fromM, I: int32(i), V: v}, 1 + n + m, nil
+		},
+	})
+	kv.RegisterValueCodec(joined{}, kv.ValueCodec{
+		Append: func(buf []byte, v any) ([]byte, bool) {
+			j := v.(joined)
+			return appendTagged(appendTagged(buf, j.Ms), j.Ns), true
+		},
+		Decode: func(data []byte) (any, int, error) {
+			ms, n, err := taggedAt(data)
+			if err != nil {
+				return nil, 0, err
+			}
+			ns, m, err := taggedAt(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			return joined{Ms: ms, Ns: ns}, n + m, nil
+		},
+	})
 }
 
 // RunMR executes the baseline: each iteration is TWO chained MapReduce

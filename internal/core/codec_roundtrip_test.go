@@ -1,0 +1,110 @@
+package core_test
+
+// Round-trip property tests for the typed wire codecs of every
+// algorithm's record types: values must survive Encode→Decode, and
+// re-encoding the decoded pairs must reproduce the same bytes (the
+// stability property the dedup/retransmission machinery relies on).
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"imapreduce/internal/algorithms/jacobi"
+	"imapreduce/internal/algorithms/kmeans"
+	"imapreduce/internal/algorithms/matpower"
+	"imapreduce/internal/graph"
+	"imapreduce/internal/kv"
+	"imapreduce/internal/mapreduce"
+)
+
+func checkRoundTrip(t *testing.T, name string, pairs []kv.Pair) {
+	t.Helper()
+	enc, ok := kv.AppendPairs(nil, pairs)
+	if !ok {
+		t.Fatalf("%s: AppendPairs refused registered types", name)
+	}
+	dec, n, err := kv.DecodePairs(enc)
+	if err != nil {
+		t.Fatalf("%s: DecodePairs: %v", name, err)
+	}
+	if n != len(enc) {
+		t.Fatalf("%s: consumed %d of %d bytes", name, n, len(enc))
+	}
+	if !reflect.DeepEqual(pairs, dec) {
+		t.Fatalf("%s: round trip mismatch:\n in  %#v\n out %#v", name, pairs, dec)
+	}
+	re, ok := kv.AppendPairs(nil, dec)
+	if !ok || !bytes.Equal(enc, re) {
+		t.Fatalf("%s: re-encoding decoded pairs changed the bytes", name)
+	}
+}
+
+func TestAlgorithmPairsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randF64s := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = rng.NormFloat64()
+		}
+		return out
+	}
+
+	t.Run("pagerank-state", func(t *testing.T) {
+		pairs := make([]kv.Pair, 64)
+		for i := range pairs {
+			pairs[i] = kv.Pair{Key: int64(i), Value: rng.Float64()}
+		}
+		checkRoundTrip(t, "pagerank", pairs)
+	})
+
+	t.Run("graph-static", func(t *testing.T) {
+		pairs := []kv.Pair{
+			{Key: int64(0), Value: graph.Adj{Dst: []int32{1, 2, 3}, W: []float32{0.5, 1.5, 2}}},
+			{Key: int64(1), Value: graph.Adj{Dst: []int32{0}}},     // unweighted
+			{Key: int64(2), Value: graph.Adj{}},                    // sink node
+			{Key: int64(3), Value: graph.Adj{Dst: []int32{-1, 9}}}, // sentinel ids
+		}
+		checkRoundTrip(t, "graph.Adj", pairs)
+	})
+
+	t.Run("kmeans", func(t *testing.T) {
+		pairs := []kv.Pair{
+			{Key: int64(1), Value: kmeans.Point(randF64s(4))},
+			{Key: int64(2), Value: kmeans.PartialSum{Vec: randF64s(4), Count: 17}},
+			{Key: int64(3), Value: kmeans.PartialSum{Count: -1}},
+		}
+		checkRoundTrip(t, "kmeans", pairs)
+	})
+
+	t.Run("jacobi", func(t *testing.T) {
+		pairs := []kv.Pair{
+			{Key: int64(0), Value: jacobi.Row{B: 1.5, Diag: 4, Idx: []int32{1, 2}, Val: randF64s(2)}},
+			{Key: int64(1), Value: jacobi.Row{B: -2, Diag: 0.25}},
+			{Key: int64(2), Value: rng.Float64()}, // state record
+		}
+		checkRoundTrip(t, "jacobi", pairs)
+	})
+
+	t.Run("matpower", func(t *testing.T) {
+		pairs := []kv.Pair{
+			{Key: int64(0), Value: matpower.Entry{K: 3, V: 1.25}},
+			{Key: int64(1), Value: matpower.Row{Entries: []matpower.Entry{{K: 0, V: -1}, {K: 7, V: 2}}}},
+			{Key: int64(2), Value: matpower.Row{}},
+			{Key: int64(3), Value: matpower.Col{Idx: []int32{0, 5}, Val: randF64s(2)}},
+			{Key: int64(4), Value: []matpower.Entry{{K: 1, V: 0.5}}},
+		}
+		checkRoundTrip(t, "matpower", pairs)
+	})
+
+	t.Run("baseline-itervalue", func(t *testing.T) {
+		pairs := []kv.Pair{
+			{Key: int64(0), Value: mapreduce.IterValue{State: 0.25, Static: graph.Adj{Dst: []int32{1}}}},
+			{Key: int64(1), Value: mapreduce.IterValue{State: kmeans.Point(randF64s(3))}},
+			{Key: int64(2), Value: mapreduce.Tagged{Src: 1, Val: 3.5}},
+			{Key: int64(3), Value: mapreduce.Tagged{Src: 0, Val: graph.Adj{Dst: []int32{2, 4}}}},
+		}
+		checkRoundTrip(t, "mapreduce", pairs)
+	})
+}

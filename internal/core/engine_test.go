@@ -361,7 +361,14 @@ func TestCombineErrorPropagates(t *testing.T) {
 	v := newEnv(t, 2, Options{})
 	v.writeState(t, "/state", 40)
 	job := halvingJob("boom-combine", 5, 0)
-	job.BufferThreshold = 2 // force combiner invocations on small chunks
+	job.BufferThreshold = 4 // force combiner invocations on small chunks
+	job.Map = func(key, state, static any, emit kv.Emit) error {
+		// Duplicate keys so chunks actually shrink; the combiner is
+		// skipped on all-unique chunks (it could not reduce them).
+		emit(key, state)
+		emit(key, state)
+		return nil
+	}
 	job.Combine = func(key any, values []any) (any, error) {
 		return nil, fmt.Errorf("combine kaboom")
 	}

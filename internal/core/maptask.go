@@ -46,6 +46,9 @@ type mapTask struct {
 	staticIdx   map[any]any
 	staticPairs []kv.Pair
 	pend        map[int]*mapAccum
+	// lastIn is the previous iteration's state-input size, used to
+	// presize the next accumulator.
+	lastIn int
 	// seq numbers outgoing shuffle chunks so receivers can discard
 	// network duplicates; loadedGen records the generation whose go
 	// command was already obeyed, making duplicated cmdGo a no-op.
@@ -207,6 +210,9 @@ func (t *mapTask) handleState(c stateChunk) {
 	a := t.pend[c.Iter]
 	if a == nil {
 		a = &mapAccum{seen: make(map[chunkKey]bool)}
+		if !t.stream {
+			a.pairs = make([]kv.Pair, 0, t.lastIn)
+		}
 		t.pend[c.Iter] = a
 	}
 	k := chunkKey{from: c.From, seq: c.Seq}
@@ -235,6 +241,7 @@ func (t *mapTask) tryComplete() {
 		if a == nil || a.ends < t.feeders {
 			return
 		}
+		t.lastIn = len(a.pairs)
 		if t.broadcast {
 			t.processBroadcast(t.iter, a.pairs)
 		} else if len(a.pairs) > 0 {
@@ -285,6 +292,9 @@ func (t *mapTask) processBroadcast(iter int, statePairs []kv.Pair) {
 func (t *mapTask) emitFn(iter int) kv.Emit {
 	return func(k, v any) {
 		r := t.job.Ops.Partition(k, t.numReduce)
+		if t.outBuf[r] == nil {
+			t.outBuf[r] = make([]kv.Pair, 0, t.bufThresh)
+		}
 		t.outBuf[r] = append(t.outBuf[r], kv.Pair{Key: k, Value: v})
 		if len(t.outBuf[r]) >= t.bufThresh {
 			t.sendShuffle(iter, r, false)
@@ -294,21 +304,37 @@ func (t *mapTask) emitFn(iter int) kv.Emit {
 
 // sendShuffle flushes the buffer for reduce r, running the combiner
 // over the chunk first when one is configured.
+//
+// Ownership: a pair slice handed to Send belongs to the network from
+// that moment (channel transports pass it by reference; the chaos
+// wrapper may hold it to reorder or duplicate), so a sent slice is
+// never written again. The buffer is reused only on the combiner
+// shrink path, where the sent slice is a fresh allocation.
 func (t *mapTask) sendShuffle(iter, r int, end bool) {
 	pairs := t.outBuf[r]
-	t.outBuf[r] = nil
+	reused := false
 	if t.job.Combine != nil && len(pairs) > 1 {
 		groups := kv.GroupPairs(pairs, t.job.Ops)
-		combined := make([]kv.Pair, 0, len(groups))
-		for _, g := range groups {
-			v, err := t.job.Combine(g.Key, g.Values)
-			if err != nil {
-				t.fatal(fmt.Errorf("map %d/%d combine key %v: %w", t.phase, t.idx, g.Key, err))
-				return
+		if len(groups) < len(pairs) {
+			combined := make([]kv.Pair, 0, len(groups))
+			for _, g := range groups {
+				v, err := t.job.Combine(g.Key, g.Values)
+				if err != nil {
+					t.fatal(fmt.Errorf("map %d/%d combine key %v: %w", t.phase, t.idx, g.Key, err))
+					return
+				}
+				combined = append(combined, kv.Pair{Key: g.Key, Value: v})
 			}
-			combined = append(combined, kv.Pair{Key: g.Key, Value: v})
+			pairs, reused = combined, true
 		}
-		pairs = combined
+		// Every key unique: combining cannot shrink the chunk, and reduce
+		// functions accept uncombined values (the Hadoop combiner
+		// contract), so skip the pass and ship the buffer itself.
+	}
+	if reused {
+		t.outBuf[r] = t.outBuf[r][:0]
+	} else {
+		t.outBuf[r] = nil // sent slice now belongs to the network
 	}
 	var size int64
 	for _, p := range pairs {

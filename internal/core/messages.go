@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"imapreduce/internal/kv"
+	"imapreduce/internal/transport"
 )
 
 // Endpoint naming: every persistent task and the master own one
@@ -147,7 +148,101 @@ type taskErrMsg struct {
 	Err   string
 }
 
+// Wire marshaling: the two data-plane chunk types implement
+// transport.WireMarshaler so the TCP backend carries them as
+// length-prefixed binary frames (header varints + kv codec pair bytes)
+// instead of reflective gob. A chunk whose records hold a type with no
+// registered kv codec reports ok=false and the transport falls back to
+// gob for that message — correctness never depends on registration.
+const (
+	wireTagState   = "imr.state"
+	wireTagShuffle = "imr.shuffle"
+)
+
+// appendChunkHeader encodes the common chunk header: Gen, Iter, sender
+// task id, Seq, and the End flag.
+func appendChunkHeader(buf []byte, gen, iter, from int, seq int64, end bool) []byte {
+	buf = kv.AppendVarint(buf, int64(gen))
+	buf = kv.AppendVarint(buf, int64(iter))
+	buf = kv.AppendVarint(buf, int64(from))
+	buf = kv.AppendVarint(buf, seq)
+	e := byte(0)
+	if end {
+		e = 1
+	}
+	return append(buf, e)
+}
+
+func decodeChunkHeader(data []byte) (gen, iter, from int, seq int64, end bool, n int, err error) {
+	var v int64
+	var m int
+	for _, dst := range []*int{&gen, &iter, &from} {
+		if v, m, err = kv.Varint(data[n:]); err != nil {
+			return
+		}
+		*dst, n = int(v), n+m
+	}
+	if seq, m, err = kv.Varint(data[n:]); err != nil {
+		return
+	}
+	n += m
+	if len(data) <= n {
+		err = fmt.Errorf("core: truncated chunk header")
+		return
+	}
+	end, n = data[n] != 0, n+1
+	return
+}
+
+func (c stateChunk) WireTag() string { return wireTagState }
+
+func (c stateChunk) AppendWire(buf []byte) ([]byte, bool) {
+	start := len(buf)
+	out, ok := kv.AppendPairs(appendChunkHeader(buf, c.Gen, c.Iter, c.From, c.Seq, c.End), c.Pairs)
+	if !ok {
+		return out[:start], false
+	}
+	return out, true
+}
+
+func (c shuffleChunk) WireTag() string { return wireTagShuffle }
+
+func (c shuffleChunk) AppendWire(buf []byte) ([]byte, bool) {
+	start := len(buf)
+	out, ok := kv.AppendPairs(appendChunkHeader(buf, c.Gen, c.Iter, c.FromMap, c.Seq, c.End), c.Pairs)
+	if !ok {
+		return out[:start], false
+	}
+	return out, true
+}
+
+func decodeStateChunk(data []byte) (any, error) {
+	gen, iter, from, seq, end, n, err := decodeChunkHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	pairs, _, err := kv.DecodePairs(data[n:])
+	if err != nil {
+		return nil, err
+	}
+	return stateChunk{Gen: gen, Iter: iter, From: from, Seq: seq, Pairs: pairs, End: end}, nil
+}
+
+func decodeShuffleChunk(data []byte) (any, error) {
+	gen, iter, from, seq, end, n, err := decodeChunkHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	pairs, _, err := kv.DecodePairs(data[n:])
+	if err != nil {
+		return nil, err
+	}
+	return shuffleChunk{Gen: gen, Iter: iter, FromMap: from, Seq: seq, Pairs: pairs, End: end}, nil
+}
+
 func init() {
+	transport.RegisterWireUnmarshaler(wireTagState, decodeStateChunk)
+	transport.RegisterWireUnmarshaler(wireTagShuffle, decodeShuffleChunk)
 	kv.RegisterWireType(stateChunk{})
 	kv.RegisterWireType(shuffleChunk{})
 	kv.RegisterWireType(reportMsg{})

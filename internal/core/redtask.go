@@ -54,7 +54,11 @@ type reduceTask struct {
 	bufThresh int
 	outBuf    []kv.Pair
 	pend      map[int]*redAccum
-	prev      map[any]any
+	// lastIn is the previous iteration's total shuffle input, used to
+	// presize the next accumulator — iterative jobs move nearly the same
+	// record count every round.
+	lastIn int
+	prev   map[any]any
 	// feedMain gates loop-back delivery: once the iteration bound is
 	// reached the termination reduce stops feeding the next iteration,
 	// so the final state is exactly iteration MaxIter.
@@ -159,7 +163,7 @@ func (t *reduceTask) handleShuffle(c shuffleChunk) {
 	}
 	a := t.pend[c.Iter]
 	if a == nil {
-		a = &redAccum{seen: make(map[chunkKey]bool)}
+		a = &redAccum{pairs: make([]kv.Pair, 0, t.lastIn), seen: make(map[chunkKey]bool)}
 		t.pend[c.Iter] = a
 	}
 	k := chunkKey{from: c.FromMap, seq: c.Seq}
@@ -176,6 +180,7 @@ func (t *reduceTask) handleShuffle(c shuffleChunk) {
 		if a == nil || a.ends < t.numMaps {
 			return
 		}
+		t.lastIn = len(a.pairs)
 		t.finishIteration(t.iter, a.pairs)
 		delete(t.pend, t.iter)
 		t.iter++
@@ -206,6 +211,11 @@ func (t *reduceTask) finishIteration(iter int, pairs []kv.Pair) {
 		}
 		out = append(out, kv.Pair{Key: g.Key, Value: ns})
 		if !t.gated {
+			if t.outBuf == nil {
+				// flushStreaming hands the slice to the network, so each
+				// flush needs a fresh buffer; allocate it at full size.
+				t.outBuf = make([]kv.Pair, 0, t.bufThresh)
+			}
 			t.outBuf = append(t.outBuf, kv.Pair{Key: g.Key, Value: ns})
 			if len(t.outBuf) >= t.bufThresh {
 				t.flushStreaming(iter, false)

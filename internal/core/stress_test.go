@@ -105,6 +105,72 @@ func TestMultiPhaseOnTCP(t *testing.T) {
 	}
 }
 
+// opaqueVal is gob-registered but has no kv value codec: chunks
+// carrying it cannot use the binary fast path, so every shuffle and
+// state message must fall back to the per-frame gob encoding.
+type opaqueVal struct {
+	S string
+	F []float64
+}
+
+// TestGobFallbackOnTCP proves correctness never depends on codec
+// registration: a job whose values only gob knows runs exactly over
+// real sockets.
+func TestGobFallbackOnTCP(t *testing.T) {
+	kv.RegisterWireType(opaqueVal{})
+	spec := cluster.Uniform(2)
+	m := metrics.NewSet()
+	fs := dfs.New(dfs.Config{BlockSize: 1 << 14, Replication: 2}, spec.IDs(), m)
+	e, err := NewEngine(fs, transport.NewTCPNetwork(), spec, m, Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &env{e: e, fs: fs, m: m, spec: spec}
+	const n = 10
+	state := make([]kv.Pair, n)
+	for i := range state {
+		state[i] = kv.Pair{Key: int64(i), Value: opaqueVal{S: "v", F: []float64{float64(i), 1}}}
+	}
+	ops := kv.OpsFor[int64, opaqueVal](nil)
+	if err := fs.WriteFile("/gf/state", "worker-0", state, ops); err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{
+		Name: "tcp-gob-fallback", StatePath: "/gf/state",
+		Map: func(key, state, static any, emit kv.Emit) error {
+			emit(key, state)
+			return nil
+		},
+		Reduce: func(key any, states []any) (any, error) {
+			ov := states[0].(opaqueVal)
+			halved := make([]float64, len(ov.F))
+			for i, f := range ov.F {
+				halved[i] = f / 2
+			}
+			return opaqueVal{S: ov.S + "x", F: halved}, nil
+		},
+		MaxIter: 3,
+		Ops:     ops,
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := v.readOutput(t, res.OutputPath)
+	if len(out) != n {
+		t.Fatalf("%d outputs over gob fallback", len(out))
+	}
+	for k, val := range out {
+		ov := val.(opaqueVal)
+		if ov.S != "vxxx" {
+			t.Fatalf("key %v: S = %q after 3 iterations", k, ov.S)
+		}
+		if math.Abs(ov.F[0]-float64(k)/8) > 1e-12 || math.Abs(ov.F[1]-0.125) > 1e-12 {
+			t.Fatalf("key %v: F = %v", k, ov.F)
+		}
+	}
+}
+
 // TestDiskBackedDFS runs a full job (including checkpoints and final
 // output) over a DFS that spills every block to gob files on disk — the
 // paper's file-backed storage mode.

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"imapreduce/internal/algorithms/pagerank"
+	"imapreduce/internal/algorithms/sssp"
+	"imapreduce/internal/graph"
+	"imapreduce/internal/metrics"
+)
+
+// CoreBenchResult is one measured data-plane scenario, serialized by
+// cmd/imrbench into BENCH_core.json.
+type CoreBenchResult struct {
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation: one full iterative job for
+	// the engine scenarios, one call for the kv microbenchmarks.
+	NsPerOp int64 `json:"ns_per_op"`
+	// BytesPerOp is heap allocated per op (microbenchmarks only).
+	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is allocations per op (microbenchmarks only).
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// ShuffleBytes is the map→reduce data volume of one engine run.
+	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
+}
+
+// CoreBench runs the figure workloads that exercise the data plane
+// (PageRank and SSSP on the real core engine) over both transports,
+// reporting wall time per job and the shuffle volume. reps > 1 keeps
+// the fastest run, which damps scheduler noise the way benchstat's
+// min-selection does.
+func CoreBench(cfg Config, reps int) ([]CoreBenchResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	type scenario struct {
+		name    string
+		dataset string
+		algo    string
+		iters   int
+	}
+	scenarios := []scenario{
+		{"pagerank/google", "google", "pagerank", cfg.PageRankIters},
+		{"sssp/dblp", "dblp", "sssp", cfg.SSSPIters},
+	}
+	var out []CoreBenchResult
+	for _, sc := range scenarios {
+		d, err := graph.ByName(sc.dataset, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Build()
+		for _, tr := range []string{"chan", "tcp"} {
+			c := cfg
+			c.Transport = tr
+			best := time.Duration(0)
+			var shuffle int64
+			for r := 0; r < reps; r++ {
+				wall, sb, err := runCoreJob(c, g, sc.algo, sc.iters)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", sc.name, tr, err)
+				}
+				if best == 0 || wall < best {
+					best = wall
+				}
+				shuffle = sb
+			}
+			out = append(out, CoreBenchResult{
+				Name:         sc.name + "/" + tr,
+				NsPerOp:      best.Nanoseconds(),
+				ShuffleBytes: shuffle,
+			})
+		}
+	}
+	return out, nil
+}
+
+// runCoreJob runs one asynchronous iMapReduce job on a fresh local
+// cluster and returns its wall time and shuffle volume.
+func runCoreJob(cfg Config, g *graph.Graph, algo string, iters int) (time.Duration, int64, error) {
+	e, err := newEnv(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch algo {
+	case "pagerank":
+		if err := pagerank.WriteInputs(e.fs, e.at(), g, "/static", "/state"); err != nil {
+			return 0, 0, err
+		}
+		res, err := e.core.Run(pagerank.IMRJob(pagerank.IMRConfig{
+			Name: "bench-pr", Nodes: g.N, StaticPath: "/static", StatePath: "/state",
+			MaxIter: iters,
+		}))
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.TotalWall, e.m.Get(metrics.ShuffleBytes), nil
+	case "sssp":
+		if err := sssp.WriteInputs(e.fs, e.at(), g, 0, "/static", "/state"); err != nil {
+			return 0, 0, err
+		}
+		res, err := e.core.Run(sssp.IMRJob(sssp.IMRConfig{
+			Name: "bench-sssp", StaticPath: "/static", StatePath: "/state",
+			MaxIter: iters,
+		}))
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.TotalWall, e.m.Get(metrics.ShuffleBytes), nil
+	}
+	return 0, 0, fmt.Errorf("experiments: unknown algo %q", algo)
+}

@@ -185,6 +185,10 @@ type Config struct {
 	KMeansK     int
 	// MatrixN is the dense matrix dimension.
 	MatrixN int
+	// Transport selects the real-engine message backend: "" or "chan"
+	// for in-process channels, "tcp" for real loopback sockets (the
+	// paper's persistent connections, exercising the wire codecs).
+	Transport string
 }
 
 // Default is the full-size (still laptop-friendly) configuration.

@@ -63,13 +63,19 @@ func TestGraphFigureShape(t *testing.T) {
 	for i, s := range fig.Series {
 		finals[i] = s.Y[len(s.Y)-1]
 	}
-	if !(finals[0] > finals[1]) {
+	if raceDetectorEnabled {
+		// The curves are measured wall time; race instrumentation slows
+		// the engines' fine-grained paths far more than the batch paths
+		// and flips the ordering. Structural checks below still run.
+		t.Log("race detector on: skipping curve-ordering assertions")
+	}
+	if !raceDetectorEnabled && !(finals[0] > finals[1]) {
 		t.Errorf("MapReduce (%.3f) should exceed ex-init (%.3f)", finals[0], finals[1])
 	}
-	if !(finals[1] > finals[3]) {
+	if !raceDetectorEnabled && !(finals[1] > finals[3]) {
 		t.Errorf("MapReduce ex-init (%.3f) should exceed iMapReduce (%.3f)", finals[1], finals[3])
 	}
-	if !(finals[2] >= finals[3]*0.9) {
+	if !raceDetectorEnabled && !(finals[2] >= finals[3]*0.9) {
 		t.Errorf("sync iMapReduce (%.3f) implausibly below async (%.3f)", finals[2], finals[3])
 	}
 	// Cumulative curves increase.

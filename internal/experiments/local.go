@@ -33,7 +33,16 @@ func newEnv(cfg Config) (*env, error) {
 	spec.TaskStartOverhead = cfg.TaskStart
 	m := metrics.NewSet()
 	fs := dfs.New(dfs.Config{BlockSize: 1 << 20, Replication: 2}, spec.IDs(), m)
-	ce, err := core.NewEngine(fs, transport.NewChanNetwork(), spec, m, core.Options{Timeout: 5 * time.Minute})
+	var net transport.Network
+	switch cfg.Transport {
+	case "", "chan":
+		net = transport.NewChanNetwork()
+	case "tcp":
+		net = transport.NewTCPNetwork()
+	default:
+		return nil, fmt.Errorf("experiments: unknown transport %q", cfg.Transport)
+	}
+	ce, err := core.NewEngine(fs, net, spec, m, core.Options{Timeout: 5 * time.Minute})
 	if err != nil {
 		return nil, err
 	}

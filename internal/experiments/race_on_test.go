@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled reports whether the race detector is compiled in;
+// wall-clock-shape assertions are skipped under it because its
+// instrumentation inflates the engines' fine-grained paths unevenly.
+const raceDetectorEnabled = true

@@ -1,0 +1,86 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchPairs builds n pairs with keys drawn from a key space of width
+// keys (duplicates group together) in shuffled order.
+func benchPairs(n, keys int) []Pair {
+	rng := rand.New(rand.NewSource(int64(n)))
+	out := make([]Pair, n)
+	for i := range out {
+		out[i] = Pair{Key: int64(rng.Intn(keys)), Value: float64(i)}
+	}
+	return out
+}
+
+func BenchmarkSortPairs(b *testing.B) {
+	ops := OpsFor[int64, float64](nil)
+	for _, n := range []int{1 << 10, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := benchPairs(n, n)
+			buf := make([]Pair, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				ops.SortPairs(buf)
+			}
+		})
+	}
+}
+
+func BenchmarkEncodePairs(b *testing.B) {
+	ops := OpsFor[int64, float64](nil)
+	src := benchPairs(1<<12, 1<<12)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ok bool
+		buf, ok = ops.EncodePairs(buf[:0], src)
+		if !ok {
+			b.Fatal("encode refused")
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkDecodePairs(b *testing.B) {
+	ops := OpsFor[int64, float64](nil)
+	buf, _ := ops.EncodePairs(nil, benchPairs(1<<12, 1<<12))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ops.DecodePairs(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupPairs(b *testing.B) {
+	ops := OpsFor[int64, float64](nil)
+	for _, shape := range []struct {
+		n, keys int
+	}{
+		{1 << 12, 1 << 12}, // mostly unique keys (graph state)
+		{1 << 12, 1 << 6},  // heavy duplication (combiner input)
+	} {
+		b.Run(fmt.Sprintf("n=%d/keys=%d", shape.n, shape.keys), func(b *testing.B) {
+			src := benchPairs(shape.n, shape.keys)
+			buf := make([]Pair, shape.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				if g := GroupPairs(buf, ops); len(g) == 0 {
+					b.Fatal("empty grouping")
+				}
+			}
+		})
+	}
+}

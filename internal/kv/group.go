@@ -2,11 +2,55 @@ package kv
 
 import "sort"
 
-// GroupPairs groups pairs by key and returns the groups sorted by key
-// under ops.Less. Within a group, values keep the order in which their
-// pairs appeared, so grouping is deterministic for a deterministic input
-// order.
+// GroupPairs groups pairs by key and returns the groups sorted by key.
+// Within a group, values keep the order in which their pairs appeared,
+// so grouping is deterministic for a deterministic input order.
+//
+// Ops built by OpsFor take a typed sort-based path that leaves pairs
+// untouched and allocates three slices total instead of one per key.
+// Hand-rolled Ops with only Compare stably sort the pairs slice IN
+// PLACE and cut groups from a single values array; callers that need
+// the original order must copy first. Ops with neither fall back to the
+// legacy map-based path, which also leaves pairs untouched.
 func GroupPairs(pairs []Pair, ops Ops) []Group {
+	if ops.group != nil {
+		return ops.group(pairs)
+	}
+	if ops.Compare == nil && ops.sortStable == nil {
+		return groupPairsMap(pairs, ops)
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	ops.SortPairs(pairs)
+	eq := func(a, b any) bool { return ops.Compare(a, b) == 0 }
+	if ops.Compare == nil {
+		eq = func(a, b any) bool { return !ops.Less(a, b) && !ops.Less(b, a) }
+	}
+	distinct := 1
+	for i := 1; i < len(pairs); i++ {
+		if !eq(pairs[i].Key, pairs[i-1].Key) {
+			distinct++
+		}
+	}
+	vals := make([]any, len(pairs))
+	for i, p := range pairs {
+		vals[i] = p.Value
+	}
+	groups := make([]Group, 0, distinct)
+	start := 0
+	for i := 1; i <= len(pairs); i++ {
+		if i == len(pairs) || !eq(pairs[i].Key, pairs[start].Key) {
+			groups = append(groups, Group{Key: pairs[start].Key, Values: vals[start:i:i]})
+			start = i
+		}
+	}
+	return groups
+}
+
+// groupPairsMap is the legacy grouping used when no comparator is
+// available: hash by key, then sort the group headers.
+func groupPairsMap(pairs []Pair, ops Ops) []Group {
 	byKey := make(map[any][]any, len(pairs))
 	for _, p := range pairs {
 		byKey[p.Key] = append(byKey[p.Key], p.Value)

@@ -12,6 +12,7 @@ import (
 	"cmp"
 	"fmt"
 	"hash/maphash"
+	"slices"
 	"sort"
 )
 
@@ -48,6 +49,23 @@ type Ops struct {
 	// only consistent.
 	KeySize func(key any) int
 	ValSize func(value any) int
+	// Compare is the three-way form of Less. When set, GroupPairs and
+	// SortPairs take the sort-based fast path. Optional; OpsFor fills it.
+	Compare func(a, b any) int
+	// EncodePairs and DecodePairs are the typed wire codec used by the
+	// binary transport framing. EncodePairs appends the encoding of ps to
+	// buf; ok=false means some record carries a type with no registered
+	// codec and the transport must fall back to gob. Optional; OpsFor
+	// fills both from the tagged codec registry (see wire.go).
+	EncodePairs func(buf []byte, ps []Pair) ([]byte, bool)
+	DecodePairs func(data []byte) ([]Pair, error)
+	// sortStable is the concrete-key-type stable sort installed by OpsFor;
+	// it avoids the interface-compare indirection of Less/Compare.
+	sortStable func(ps []Pair)
+	// group is the concrete-key-type grouping installed by OpsFor: an
+	// unstable sort over (key, index) with an index tie-break, so typed
+	// comparisons inline and the 32-byte Pair structs never move.
+	group func(ps []Pair) []Group
 }
 
 // PairSize returns the estimated serialized size of p under o.
@@ -63,10 +81,18 @@ func (o Ops) Partition(key any, n int) int {
 	return int(o.Hash(key) % uint64(n))
 }
 
-// SortPairs orders ps by key under o.Less (stable, so equal keys keep
-// their relative value order).
+// SortPairs orders ps by key (stable, so equal keys keep their relative
+// value order). Ops built by OpsFor sort with a concrete-type comparator;
+// hand-rolled Ops fall back to o.Less.
 func (o Ops) SortPairs(ps []Pair) {
-	sort.SliceStable(ps, func(i, j int) bool { return o.Less(ps[i].Key, ps[j].Key) })
+	switch {
+	case o.sortStable != nil:
+		o.sortStable(ps)
+	case o.Compare != nil:
+		slices.SortStableFunc(ps, func(a, b Pair) int { return o.Compare(a.Key, b.Key) })
+	default:
+		sort.SliceStable(ps, func(i, j int) bool { return o.Less(ps[i].Key, ps[j].Key) })
+	}
 }
 
 var hashSeed = maphash.MakeSeed()
@@ -162,9 +188,75 @@ func OpsFor[K cmp.Ordered, V any](valSize func(V) int) Ops {
 	return Ops{
 		Hash:    HashOf,
 		Less:    func(a, b any) bool { return cmp.Less(a.(K), b.(K)) },
+		Compare: func(a, b any) int { return cmp.Compare(a.(K), b.(K)) },
 		KeySize: KeySizeOf,
 		ValSize: vs,
+		EncodePairs: AppendPairs,
+		DecodePairs: func(data []byte) ([]Pair, error) {
+			ps, _, err := DecodePairs(data)
+			return ps, err
+		},
+		sortStable: func(ps []Pair) {
+			slices.SortStableFunc(ps, func(a, b Pair) int { return cmp.Compare(a.Key.(K), b.Key.(K)) })
+		},
+		group: groupTyped[K],
 	}
+}
+
+// keyAt pairs a concrete key with the index of its record, so grouping
+// can sort 16-byte typed entries instead of 32-byte interface pairs.
+type keyAt[K cmp.Ordered] struct {
+	k K
+	i int32
+}
+
+// groupTyped is the grouping fast path for Ops built by OpsFor. It
+// leaves pairs in their original order and makes three allocations
+// total (key index, values array, group headers) regardless of the
+// number of distinct keys. The index tie-break keeps within-group value
+// order identical to a stable sort.
+func groupTyped[K cmp.Ordered](pairs []Pair) []Group {
+	if len(pairs) == 0 {
+		return nil
+	}
+	ks := make([]keyAt[K], len(pairs))
+	for i, p := range pairs {
+		ks[i] = keyAt[K]{p.Key.(K), int32(i)}
+	}
+	// Sort by key alone so pdqsort's equal-element handling kicks in on
+	// duplicate-heavy input, then restore arrival order within each
+	// equal-key run; the two steps together are what a stable sort with
+	// an index tie-break would produce, but much cheaper.
+	slices.SortFunc(ks, func(a, b keyAt[K]) int { return cmp.Compare(a.k, b.k) })
+	runStart := 0
+	for i := 1; i <= len(ks); i++ {
+		if i == len(ks) || ks[i].k != ks[runStart].k {
+			if i-runStart > 1 {
+				run := ks[runStart:i]
+				slices.SortFunc(run, func(a, b keyAt[K]) int { return cmp.Compare(a.i, b.i) })
+			}
+			runStart = i
+		}
+	}
+	vals := make([]any, len(ks))
+	distinct := 1
+	for i := range ks {
+		vals[i] = pairs[ks[i].i].Value
+		if i > 0 && ks[i].k != ks[i-1].k {
+			distinct++
+		}
+	}
+	groups := make([]Group, 0, distinct)
+	start := 0
+	for i := 1; i <= len(ks); i++ {
+		if i == len(ks) || ks[i].k != ks[start].k {
+			// Reuse the already-boxed key from the source pair instead of
+			// re-boxing ks[start].k.
+			groups = append(groups, Group{Key: pairs[ks[start].i].Key, Values: vals[start:i:i]})
+			start = i
+		}
+	}
+	return groups
 }
 
 // Sized lets value types report their own serialized size to the byte

@@ -264,14 +264,3 @@ func BenchmarkHashOfInt64(b *testing.B) {
 	_ = sink
 }
 
-func BenchmarkGroupPairs(b *testing.B) {
-	ops := intOps()
-	pairs := make([]Pair, 10000)
-	for i := range pairs {
-		pairs[i] = Pair{int64(i % 1000), float64(i)}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		GroupPairs(pairs, ops)
-	}
-}

@@ -1,0 +1,158 @@
+package kv
+
+import (
+	"reflect"
+	"testing"
+)
+
+func roundTrip(t *testing.T, ps []Pair) []Pair {
+	t.Helper()
+	buf, ok := AppendPairs(nil, ps)
+	if !ok {
+		t.Fatalf("AppendPairs refused %v", ps)
+	}
+	got, n, err := DecodePairs(buf)
+	if err != nil {
+		t.Fatalf("DecodePairs: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("DecodePairs consumed %d of %d bytes", n, len(buf))
+	}
+	return got
+}
+
+func TestPairsRoundTripBuiltins(t *testing.T) {
+	ps := []Pair{
+		{int64(1), nil},
+		{int64(-7), true},
+		{"key", false},
+		{int32(-3), int(42)},
+		{uint64(9), int64(-1 << 40)},
+		{int64(2), uint64(1<<63 + 5)},
+		{int64(3), float32(1.5)},
+		{int64(4), 3.14159},
+		{int64(5), "hello world"},
+		{int64(6), []byte{0, 1, 255}},
+		{int64(7), []int32{-1, 0, 1 << 30}},
+		{int64(8), []int64{-1 << 50, 7}},
+		{int64(9), []float32{1, -2.5}},
+		{int64(10), []float64{0.1, 0.2, 0.3}},
+		{int64(11), []Pair{{int64(1), 2.0}, {"nested", []float64{9}}}},
+	}
+	got := roundTrip(t, ps)
+	if !reflect.DeepEqual(ps, got) {
+		t.Fatalf("round trip mismatch:\n in  %#v\n out %#v", ps, got)
+	}
+}
+
+func TestPairsRoundTripEmpty(t *testing.T) {
+	if got := roundTrip(t, []Pair{}); len(got) != 0 {
+		t.Fatalf("empty list decoded to %v", got)
+	}
+}
+
+func TestAppendPairsUnregisteredFallsBack(t *testing.T) {
+	type stranger struct{ X int }
+	base := []byte("prefix")
+	buf, ok := AppendPairs(base, []Pair{{int64(1), 2.0}, {int64(2), stranger{3}}})
+	if ok {
+		t.Fatal("expected ok=false for unregistered value type")
+	}
+	if len(buf) != len(base) {
+		t.Fatalf("buffer not truncated on failure: len %d, want %d", len(buf), len(base))
+	}
+}
+
+func TestDecodePairsRejectsCorruption(t *testing.T) {
+	buf, _ := AppendPairs(nil, []Pair{{int64(1), "abcdef"}})
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := DecodePairs(buf[:cut]); err == nil {
+			// Truncation inside a varint can still parse shorter, but
+			// cutting the final string payload must error.
+			if cut > len(buf)-3 {
+				t.Fatalf("truncation at %d/%d not detected", cut, len(buf))
+			}
+		}
+	}
+	if _, _, err := DecodePairs([]byte{0xff, 0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("absurd pair count accepted")
+	}
+}
+
+func TestRegisterValueCodecRoundTrip(t *testing.T) {
+	type testRec struct {
+		A int64
+		B []float64
+	}
+	RegisterValueCodec(testRec{}, ValueCodec{
+		Append: func(buf []byte, v any) ([]byte, bool) {
+			r := v.(testRec)
+			buf = AppendVarint(buf, r.A)
+			buf = AppendUvarint(buf, uint64(len(r.B)))
+			for _, f := range r.B {
+				buf = AppendFloat64(buf, f)
+			}
+			return buf, true
+		},
+		Decode: func(data []byte) (any, int, error) {
+			a, n, err := Varint(data)
+			if err != nil {
+				return nil, 0, err
+			}
+			l, m, err := Uvarint(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m
+			var b []float64
+			if l > 0 {
+				b = make([]float64, l)
+			}
+			for i := range b {
+				f, m, err := Float64At(data[n:])
+				if err != nil {
+					return nil, 0, err
+				}
+				b[i], n = f, n+m
+			}
+			return testRec{A: a, B: b}, n, nil
+		},
+	})
+	ps := []Pair{{int64(1), testRec{A: -9, B: []float64{1, 2}}}, {int64(2), testRec{}}}
+	got := roundTrip(t, ps)
+	if !reflect.DeepEqual(ps, got) {
+		t.Fatalf("custom codec round trip mismatch: %#v vs %#v", ps, got)
+	}
+}
+
+func TestOpsForEncodeDecode(t *testing.T) {
+	ops := OpsFor[int64, float64](nil)
+	ps := []Pair{{int64(3), 1.5}, {int64(1), -2.0}}
+	buf, ok := ops.EncodePairs(nil, ps)
+	if !ok {
+		t.Fatal("OpsFor EncodePairs refused builtin types")
+	}
+	got, err := ops.DecodePairs(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ps, got) {
+		t.Fatalf("ops round trip mismatch: %v vs %v", got, ps)
+	}
+}
+
+func TestGroupPairsMapFallback(t *testing.T) {
+	// Hand-rolled Ops without Compare must still group correctly and
+	// leave the input order untouched.
+	ops := Ops{Hash: HashOf, Less: LessOf, KeySize: KeySizeOf, ValSize: DefaultSize}
+	pairs := []Pair{{int64(2), 1.0}, {int64(1), 2.0}, {int64(2), 3.0}}
+	orig := make([]Pair, len(pairs))
+	copy(orig, pairs)
+	groups := GroupPairs(pairs, ops)
+	if len(groups) != 2 || groups[0].Key != int64(1) || len(groups[1].Values) != 2 {
+		t.Fatalf("fallback grouping wrong: %v", groups)
+	}
+	if !reflect.DeepEqual(orig, pairs) {
+		t.Fatalf("map fallback mutated input: %v", pairs)
+	}
+}

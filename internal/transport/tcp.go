@@ -1,6 +1,9 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -12,8 +15,19 @@ import (
 // TCPNetwork is the real-socket backend. Every endpoint owns a loopback
 // listener; the first Send from A to B dials one connection that stays
 // open for the lifetime of the network — the persistent sockets the
-// paper builds between reduce tasks and their map tasks. Payload types
-// must be registered with gob (kv.RegisterWireType).
+// paper builds between reduce tasks and their map tasks.
+//
+// Frames are length-prefixed: a 4-byte big-endian body length, a frame
+// type byte, then the body. Payloads implementing WireMarshaler travel
+// as reflection-free binary (frameBin); everything else — control
+// messages and unregistered job types — falls back to a stateless gob
+// encoding per frame (frameGob), so gob registration via
+// kv.RegisterWireType keeps working unchanged.
+//
+// Writes are coalesced: each connection buffers frames in a
+// bufio.Writer and a per-connection flusher goroutine flushes when the
+// sender goes idle, so a burst of shuffle chunks shares syscalls while
+// a lone control message still leaves within microseconds.
 type TCPNetwork struct {
 	mu        sync.Mutex
 	endpoints map[string]*tcpEndpoint
@@ -32,6 +46,42 @@ func NewTCPNetwork() *TCPNetwork {
 // to prove connections are persistent (one per sender/receiver pair).
 func (n *TCPNetwork) Dials() int64 { return n.dials.Load() }
 
+// Frame type bytes.
+const (
+	frameHello byte = 1 // body: sender's logical address
+	frameGob   byte = 2 // body: stateless gob encoding of wireMessage
+	frameBin   byte = 3 // body: binary header + WireMarshaler payload
+)
+
+// maxFrameSize bounds a single frame; larger length prefixes are treated
+// as stream corruption.
+const maxFrameSize = 1 << 30
+
+// WireMarshaler is implemented by payload types that can encode
+// themselves into the binary fast-path frame. AppendWire appends the
+// encoding to buf; ok=false (a nested value has no registered codec)
+// makes the transport silently fall back to the gob frame for this
+// message.
+type WireMarshaler interface {
+	WireTag() string
+	AppendWire(buf []byte) ([]byte, bool)
+}
+
+var wireUnmarshalers sync.Map // tag string -> func([]byte) (any, error)
+
+// RegisterWireUnmarshaler installs the decoder for a WireMarshaler tag.
+// Like gob.Register it is meant for init functions; duplicate tags
+// panic. Registration is process-global, which matches the in-process
+// cluster model: every endpoint sees the same registry.
+func RegisterWireUnmarshaler(tag string, fn func(data []byte) (any, error)) {
+	if tag == "" || fn == nil {
+		panic("transport: RegisterWireUnmarshaler with empty tag or nil func")
+	}
+	if _, dup := wireUnmarshalers.LoadOrStore(tag, fn); dup {
+		panic(fmt.Sprintf("transport: wire unmarshaler %q registered twice", tag))
+	}
+}
+
 type tcpEndpoint struct {
 	net      *TCPNetwork
 	addr     string
@@ -44,11 +94,13 @@ type tcpEndpoint struct {
 }
 
 type tcpConn struct {
-	mu   sync.Mutex
-	c    net.Conn
-	enc  *gob.Encoder
-	cw   *countingWriter
-	dead bool
+	mu       sync.Mutex
+	c        net.Conn
+	bw       *bufio.Writer
+	dead     bool
+	buf      []byte       // frame scratch, reused under mu
+	gobBuf   bytes.Buffer // gob fallback scratch, reused under mu
+	flushReq chan struct{}
 }
 
 type countingWriter struct {
@@ -62,10 +114,8 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// wireMessage is the on-the-wire frame. A hello frame (Hello != "")
-// identifies the sender once per connection.
+// wireMessage is the gob fallback frame body.
 type wireMessage struct {
-	Hello   string
 	From    string
 	Kind    string
 	Payload any
@@ -111,17 +161,83 @@ func (e *tcpEndpoint) accept() {
 
 func (e *tcpEndpoint) readLoop(c net.Conn) {
 	defer c.Close()
-	dec := gob.NewDecoder(c)
+	br := bufio.NewReaderSize(c, 64<<10)
+	var hdr [4]byte
 	for {
-		var wm wireMessage
-		if err := dec.Decode(&wm); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
-		if wm.Hello != "" {
-			continue // connection identification frame
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrameSize {
+			return
 		}
-		e.ib.push(Message{From: wm.From, To: e.addr, Kind: wm.Kind, Payload: wm.Payload, Size: wm.Size})
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		switch body[0] {
+		case frameHello:
+			// Connection identification; data frames carry From themselves.
+		case frameGob:
+			var wm wireMessage
+			if err := gob.NewDecoder(bytes.NewReader(body[1:])).Decode(&wm); err != nil {
+				return
+			}
+			e.ib.push(Message{From: wm.From, To: e.addr, Kind: wm.Kind, Payload: wm.Payload, Size: wm.Size})
+		case frameBin:
+			msg, err := decodeBinFrame(body[1:], e.addr)
+			if err != nil {
+				return
+			}
+			e.ib.push(msg)
+		default:
+			return // unknown frame type: stream corruption
+		}
 	}
+}
+
+func appendLPString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readLPString(data []byte) (string, int, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < l {
+		return "", 0, fmt.Errorf("transport: truncated string in frame")
+	}
+	return string(data[n : n+int(l)]), n + int(l), nil
+}
+
+func decodeBinFrame(body []byte, to string) (Message, error) {
+	from, n, err := readLPString(body)
+	if err != nil {
+		return Message{}, err
+	}
+	kind, m, err := readLPString(body[n:])
+	if err != nil {
+		return Message{}, err
+	}
+	n += m
+	size, m := binary.Varint(body[n:])
+	if m <= 0 {
+		return Message{}, fmt.Errorf("transport: truncated size in frame")
+	}
+	n += m
+	tag, m, err := readLPString(body[n:])
+	if err != nil {
+		return Message{}, err
+	}
+	n += m
+	fn, ok := wireUnmarshalers.Load(tag)
+	if !ok {
+		return Message{}, fmt.Errorf("transport: no wire unmarshaler for tag %q", tag)
+	}
+	payload, err := fn.(func([]byte) (any, error))(body[n:])
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: decode %q payload: %w", tag, err)
+	}
+	return Message{From: from, To: to, Kind: kind, Payload: payload, Size: size}, nil
 }
 
 func (e *tcpEndpoint) Addr() string { return e.addr }
@@ -132,7 +248,7 @@ func (e *tcpEndpoint) Send(to string, msg Message) error {
 		return nil
 	}
 	// The persistent connection may have died since the last send (peer
-	// restart, half-open socket, encode failure marking it dead). The
+	// restart, half-open socket, flush failure marking it dead). The
 	// frame was lost with it, so re-dial through connTo once and
 	// retransmit instead of surfacing a loss the caller cannot see.
 	// Retransmission over a fresh stream is at-least-once: if the first
@@ -154,16 +270,85 @@ func (e *tcpEndpoint) sendOnce(to string, msg Message) error {
 	if conn.dead {
 		return fmt.Errorf("transport: connection %s->%s is down", e.addr, to)
 	}
-	before := conn.cw.n.Load()
-	wm := wireMessage{From: e.addr, Kind: msg.Kind, Payload: msg.Payload, Size: msg.Size}
-	if err := conn.enc.Encode(&wm); err != nil {
+	frame, err := conn.buildFrame(e.addr, msg)
+	if err != nil {
+		// Encoding failure (e.g. a type gob does not know) is the
+		// caller's problem, not the connection's.
+		return fmt.Errorf("transport: encode %s->%s: %w", e.addr, to, err)
+	}
+	if _, err := conn.bw.Write(frame); err != nil {
 		conn.dead = true
 		conn.c.Close()
 		return fmt.Errorf("transport: send %s->%s: %w", e.addr, to, err)
 	}
-	e.net.bytes.Add(conn.cw.n.Load() - before)
+	// Wake the flusher; a pending signal already covers this frame.
+	select {
+	case conn.flushReq <- struct{}{}:
+	default:
+	}
 	e.net.msgs.Add(1)
 	return nil
+}
+
+// buildFrame encodes msg into conn's reusable scratch buffer, returning
+// the complete frame (length prefix included). Payloads implementing
+// WireMarshaler get the binary frame; everything else, and marshalers
+// that report ok=false, get the stateless gob frame.
+func (conn *tcpConn) buildFrame(from string, msg Message) ([]byte, error) {
+	buf := append(conn.buf[:0], 0, 0, 0, 0)
+	if wm, ok := msg.Payload.(WireMarshaler); ok {
+		buf = append(buf, frameBin)
+		buf = appendLPString(buf, from)
+		buf = appendLPString(buf, msg.Kind)
+		buf = binary.AppendVarint(buf, msg.Size)
+		buf = appendLPString(buf, wm.WireTag())
+		if out, ok := wm.AppendWire(buf); ok {
+			binary.BigEndian.PutUint32(out, uint32(len(out)-4))
+			conn.buf = out
+			return out, nil
+		}
+		buf = append(conn.buf[:0], 0, 0, 0, 0)
+	}
+	buf = append(buf, frameGob)
+	conn.gobBuf.Reset()
+	wm := wireMessage{From: from, Kind: msg.Kind, Payload: msg.Payload, Size: msg.Size}
+	if err := gob.NewEncoder(&conn.gobBuf).Encode(&wm); err != nil {
+		conn.buf = buf
+		return nil, err
+	}
+	buf = append(buf, conn.gobBuf.Bytes()...)
+	binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+	conn.buf = buf
+	return buf, nil
+}
+
+// flushLoop drains buffered frames whenever the sender goes idle. On a
+// flush error it marks the connection dead so the next Send re-dials.
+func (conn *tcpConn) flushLoop(done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			conn.mu.Lock()
+			if !conn.dead {
+				conn.bw.Flush()
+			}
+			conn.mu.Unlock()
+			return
+		case <-conn.flushReq:
+			conn.mu.Lock()
+			if conn.dead {
+				conn.mu.Unlock()
+				return
+			}
+			if err := conn.bw.Flush(); err != nil {
+				conn.dead = true
+				conn.c.Close()
+				conn.mu.Unlock()
+				return
+			}
+			conn.mu.Unlock()
+		}
+	}
 }
 
 // connTo returns the persistent connection to peer, dialing it on first
@@ -171,8 +356,13 @@ func (e *tcpEndpoint) sendOnce(to string, msg Message) error {
 func (e *tcpEndpoint) connTo(peer string) (*tcpConn, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if c, ok := e.conns[peer]; ok && !c.dead {
-		return c, nil
+	if c, ok := e.conns[peer]; ok {
+		c.mu.Lock()
+		dead := c.dead // the flusher marks connections dead asynchronously
+		c.mu.Unlock()
+		if !dead {
+			return c, nil
+		}
 	}
 	e.net.mu.Lock()
 	dst, ok := e.net.endpoints[peer]
@@ -189,13 +379,27 @@ func (e *tcpEndpoint) connTo(peer string) (*tcpConn, error) {
 		return nil, fmt.Errorf("transport: dial %q: %w", peer, err)
 	}
 	e.net.dials.Add(1)
-	cw := &countingWriter{w: raw, n: &atomic.Int64{}}
-	conn := &tcpConn{c: raw, enc: gob.NewEncoder(cw), cw: cw}
-	// Identify ourselves so the peer's frames carry the logical sender.
-	if err := conn.enc.Encode(&wireMessage{Hello: e.addr}); err != nil {
+	cw := &countingWriter{w: raw, n: &e.net.bytes}
+	conn := &tcpConn{
+		c:        raw,
+		bw:       bufio.NewWriterSize(cw, 64<<10),
+		flushReq: make(chan struct{}, 1),
+	}
+	// Identify ourselves so the peer can attribute the stream, and flush
+	// synchronously so a dead listener is caught at dial time.
+	hello := append(conn.buf[:0], 0, 0, 0, 0, frameHello)
+	hello = append(hello, e.addr...)
+	binary.BigEndian.PutUint32(hello, uint32(len(hello)-4))
+	conn.buf = hello
+	if _, err := conn.bw.Write(hello); err != nil {
 		raw.Close()
 		return nil, err
 	}
+	if err := conn.bw.Flush(); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	go conn.flushLoop(e.done)
 	e.conns[peer] = conn
 	return conn, nil
 }
@@ -212,6 +416,12 @@ func (e *tcpEndpoint) Close() error {
 	e.listener.Close()
 	e.mu.Lock()
 	for _, c := range e.conns {
+		c.mu.Lock()
+		if !c.dead {
+			c.dead = true
+			c.bw.Flush()
+		}
+		c.mu.Unlock()
 		c.c.Close()
 	}
 	e.mu.Unlock()

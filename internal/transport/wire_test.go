@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// binPayload is a WireMarshaler test type; Refuse forces the gob
+// fallback from inside the marshaler.
+type binPayload struct {
+	A      int64
+	B      string
+	Refuse bool
+}
+
+func (p binPayload) WireTag() string { return "test.bin" }
+
+func (p binPayload) AppendWire(buf []byte) ([]byte, bool) {
+	if p.Refuse {
+		return buf, false
+	}
+	buf = binary.AppendVarint(buf, p.A)
+	buf = binary.AppendUvarint(buf, uint64(len(p.B)))
+	return append(buf, p.B...), true
+}
+
+// gobOnlyPayload has no WireMarshaler implementation at all.
+type gobOnlyPayload struct {
+	N int
+	S []string
+}
+
+func init() {
+	gob.Register(binPayload{})
+	gob.Register(gobOnlyPayload{})
+	RegisterWireUnmarshaler("test.bin", func(data []byte) (any, error) {
+		a, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad varint")
+		}
+		l, m := binary.Uvarint(data[n:])
+		if m <= 0 || uint64(len(data)-n-m) < l {
+			return nil, fmt.Errorf("bad string")
+		}
+		n += m
+		return binPayload{A: a, B: string(data[n : n+int(l)])}, nil
+	})
+}
+
+func recvWire(t *testing.T, ep Endpoint) Message {
+	t.Helper()
+	select {
+	case m, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("endpoint closed")
+		}
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for message")
+	}
+	return Message{}
+}
+
+// TestTCPBinaryAndGobFrames sends, over one connection: a binary-framed
+// payload, a marshaler that refuses (gob fallback mid-stream), and a
+// payload with no marshaler. All three must arrive intact and in order.
+func TestTCPBinaryAndGobFrames(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := []Message{
+		{Kind: "k1", Payload: binPayload{A: -42, B: "fast path"}, Size: 10},
+		{Kind: "k2", Payload: binPayload{A: 7, B: "refused", Refuse: true}, Size: 20},
+		{Kind: "k3", Payload: gobOnlyPayload{N: 3, S: []string{"x", "y"}}, Size: 30},
+	}
+	for _, m := range sent {
+		if err := a.Send("b", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range sent {
+		got := recvWire(t, b)
+		if got.From != "a" || got.To != "b" || got.Kind != want.Kind || got.Size != want.Size {
+			t.Fatalf("message %d header mismatch: %+v", i, got)
+		}
+		wantPayload := want.Payload
+		if bp, ok := wantPayload.(binPayload); ok && bp.Refuse {
+			// The refusing marshaler travels by gob, arriving intact
+			// including the Refuse field.
+			wantPayload = bp
+		}
+		if !reflect.DeepEqual(got.Payload, wantPayload) {
+			t.Fatalf("message %d payload: got %#v want %#v", i, got.Payload, wantPayload)
+		}
+	}
+	if n.Messages() != 3 {
+		t.Fatalf("message count %d", n.Messages())
+	}
+	if n.Dials() != 1 {
+		t.Fatalf("dials %d, want 1 persistent connection", n.Dials())
+	}
+}
+
+// TestTCPCoalescedBytesAccounted: BytesSent must converge to the full
+// framed byte count once the flusher drains, and binary framing must
+// cost fewer wire bytes than gob for the same records.
+func TestTCPCoalescedBytesAccounted(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	const sends = 64
+	for i := 0; i < sends; i++ {
+		if err := a.Send("b", Message{Kind: "k", Payload: binPayload{A: int64(i), B: "payload"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < sends; i++ {
+		recvWire(t, b)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for n.BytesSent() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	got := n.BytesSent()
+	if got == 0 {
+		t.Fatal("no bytes accounted after flush")
+	}
+	// Hello frame + 64 binary frames of ~30 bytes each; a gob stream of
+	// the same messages costs several times that.
+	if got > int64(sends*80) {
+		t.Fatalf("binary frames cost %d bytes for %d sends — fallback suspected", got, sends)
+	}
+}
