@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short race-short bench bench-smoke ci clean
+.PHONY: all build vet test race short race-short bench bench-smoke trace-smoke ci clean
 
 all: ci
 
@@ -40,7 +40,12 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/kv ./internal/graph ./internal/mapreduce ./internal/core
 
-ci: vet build race-short bench-smoke
+# Traced quick run: records a real SSSP job, exports Chrome trace JSON,
+# validates it parses, and prints the factor decomposition.
+trace-smoke:
+	$(GO) run ./cmd/imrbench -trace /tmp/imr-trace.json
+
+ci: vet build race-short bench-smoke trace-smoke
 
 clean:
 	$(GO) clean ./...

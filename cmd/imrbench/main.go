@@ -10,6 +10,7 @@
 //	imrbench -quick           # small/fast configuration
 //	imrbench -scale 50        # larger datasets (paper/50)
 //	imrbench -bench out.json  # data-plane benchmark snapshot (JSON)
+//	imrbench -trace out.json  # traced quick SSSP run, Chrome trace JSON
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		csvDir  = flag.String("csv", "", "also write each figure's series as CSV into this directory")
 		bench   = flag.String("bench", "", "run the data-plane benchmark suite at the quick configuration and write results as JSON to this path")
+		traceTo = flag.String("trace", "", "run a traced quick SSSP job, write Chrome trace_event JSON to this path, and print the factor decomposition")
 	)
 	flag.Parse()
 
@@ -49,6 +51,21 @@ func main() {
 			cfg.Workers = *workers
 		}
 		if err := runBench(*bench, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "imrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *traceTo != "" {
+		cfg := experiments.Quick()
+		if *scale > 0 {
+			cfg.Scale = *scale
+		}
+		if *workers > 0 {
+			cfg.Workers = *workers
+		}
+		if err := runTrace(*traceTo, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "imrbench:", err)
 			os.Exit(1)
 		}

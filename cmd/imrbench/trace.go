@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"imapreduce/internal/experiments"
+	"imapreduce/internal/trace"
+)
+
+// runTrace executes one quick SSSP job with the event recorder on,
+// writes the run as Chrome trace_event JSON (load into
+// chrome://tracing or Perfetto), validates that the written file
+// parses back, and prints the per-iteration factor decomposition.
+func runTrace(path string, cfg experiments.Config) error {
+	rec := trace.NewRecorder(0)
+	res, err := experiments.TracedRun(cfg, "dblp", "sssp", cfg.SSSPIters, rec)
+	if err != nil {
+		return err
+	}
+	events := rec.Events()
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, events); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	// Re-read and validate: the export must be well-formed JSON with at
+	// least one slice per task pair.
+	written, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(written, &parsed); err != nil {
+		return fmt.Errorf("trace %s does not parse: %w", path, err)
+	}
+	if len(parsed) == 0 {
+		return fmt.Errorf("trace %s is empty", path)
+	}
+
+	fmt.Printf("traced sssp/dblp: %d iterations in %v, %d events (%d dropped), %d chrome records -> %s\n",
+		res.Iterations, res.TotalWall, len(events), rec.Dropped(), len(parsed), path)
+	fmt.Printf("\nper-iteration factor decomposition (Fig. 10 factors):\n")
+	trace.Decompose(events).WriteTable(os.Stdout)
+	return nil
+}

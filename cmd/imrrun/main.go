@@ -28,6 +28,7 @@ import (
 	"imapreduce/internal/kv"
 	"imapreduce/internal/mapreduce"
 	"imapreduce/internal/metrics"
+	"imapreduce/internal/trace"
 	"imapreduce/internal/transport"
 )
 
@@ -46,6 +47,7 @@ func main() {
 		sync      = flag.Bool("sync", false, "disable asynchronous map execution")
 		tcp       = flag.Bool("tcp", false, "use real TCP sockets between tasks")
 		sample    = flag.Int("sample", 5, "result records to print")
+		traceRun  = flag.Bool("trace", false, "record events and print the per-iteration factor decomposition (imr engine)")
 	)
 	flag.Parse()
 	if *algo == "kmeans" {
@@ -75,7 +77,7 @@ func main() {
 	}
 
 	if *engine == "imr" || *engine == "both" {
-		runIMR(g, *algo, *source, *iters, *threshold, *workers, *tasks, *sync, *tcp, *sample)
+		runIMR(g, *algo, *source, *iters, *threshold, *workers, *tasks, *sync, *tcp, *sample, *traceRun)
 	}
 	if *engine == "mr" || *engine == "both" {
 		runMR(g, *algo, *source, *iters, *threshold, *workers, *sample)
@@ -91,13 +93,19 @@ func newCluster(workers int) (cluster.Spec, *metrics.Set, *dfs.DFS) {
 	return spec, m, fs
 }
 
-func runIMR(g *graph.Graph, algo string, source int64, iters int, threshold float64, workers, tasks int, sync, tcp bool, sample int) {
+func runIMR(g *graph.Graph, algo string, source int64, iters int, threshold float64, workers, tasks int, sync, tcp bool, sample int, traceRun bool) {
 	spec, m, fs := newCluster(workers)
+	var rec *trace.Recorder
+	if traceRun {
+		rec = trace.NewRecorder(0)
+	}
 	var net transport.Network = transport.NewChanNetwork()
 	if tcp {
-		net = transport.NewTCPNetwork()
+		t := transport.NewTCPNetwork()
+		t.SetTrace(rec)
+		net = t
 	}
-	eng, err := core.NewEngine(fs, net, spec, m, core.Options{Timeout: 10 * time.Minute})
+	eng, err := core.NewEngine(fs, net, spec, m, core.Options{Timeout: 10 * time.Minute, Trace: rec})
 	if err != nil {
 		fatal(err)
 	}
@@ -147,6 +155,13 @@ func runIMR(g *graph.Graph, algo string, source int64, iters int, threshold floa
 	fmt.Printf("traffic: shuffle=%s (remote %s), state=%s (remote %s)\n",
 		mb(m.Get(metrics.ShuffleBytes)), mb(m.Get(metrics.ShuffleRemote)),
 		mb(m.Get(metrics.StateBytes)), mb(m.Get(metrics.StateRemote)))
+	if rec != nil {
+		fmt.Printf("\nper-iteration factor decomposition (Fig. 10 factors):\n")
+		trace.Decompose(rec.Events()).WriteTable(os.Stdout)
+		if d := rec.Dropped(); d > 0 {
+			fmt.Printf("note: ring overflow dropped the %d oldest events\n", d)
+		}
+	}
 	printSample(fs, spec.IDs()[0], res.OutputPath, sample, numeric)
 }
 

@@ -64,8 +64,8 @@ func main() {
 	fmt.Printf("converged=%v after %d iterations in %v (init %v)\n",
 		res.Converged, res.Iterations, res.TotalWall.Round(time.Millisecond), res.InitTime.Round(time.Millisecond))
 
-	// 5. Read the converged ranks back from the DFS.
-	out, err := c.ReadAll(res.OutputPath)
+	// 5. Read the converged ranks back from the DFS, typed.
+	out, err := imr.ReadAllAs[int64, float64](c, res.OutputPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func main() {
 	}
 	all := make([]ranked, 0, len(out))
 	for k, v := range out {
-		all = append(all, ranked{k.(int64), v.(float64)})
+		all = append(all, ranked{k, v})
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].rank > all[j].rank })
 	fmt.Println("top 5 nodes by rank:")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"imapreduce/internal/dfs"
 	"imapreduce/internal/kv"
 	"imapreduce/internal/metrics"
+	"imapreduce/internal/trace"
 	"imapreduce/internal/transport"
 )
 
@@ -44,6 +46,16 @@ type Options struct {
 	SendRetries int
 	// SendRetryBackoff is the initial retry backoff. Default 1ms.
 	SendRetryBackoff time.Duration
+
+	// Trace receives the run's structured events: task lifecycle,
+	// per-iteration spans per task pair, transport retries. nil (the
+	// default) disables tracing; every emission site is behind a nil
+	// check and reads no clock, so the off path is free.
+	Trace *trace.Recorder
+	// OnIteration, if set, is called from the master goroutine at every
+	// committed iteration boundary with that iteration's merged info.
+	// It must return quickly: the master loop blocks on it.
+	OnIteration func(IterInfo)
 }
 
 // Engine executes iMapReduce jobs over a DFS, a transport network and a
@@ -100,9 +112,11 @@ func (e *Engine) sendReliable(ep transport.Endpoint, to string, msg transport.Me
 	attempts, err := transport.ReliableSend(ep, to, msg, e.opts.SendRetries, e.opts.SendRetryBackoff)
 	if attempts > 1 {
 		e.m.Add(metrics.SendRetries, int64(attempts-1))
+		e.opts.Trace.Emit(trace.KindSendRetry, "", -1, 0, trace.Attr{Key: "to", Value: to})
 	}
 	if err != nil {
 		e.m.Add(metrics.SendFailures, 1)
+		e.opts.Trace.Emit(trace.KindSendFail, "", -1, 0, trace.Attr{Key: "to", Value: to})
 	}
 	return err
 }
@@ -247,6 +261,13 @@ func (r *runState) setPairWorker(idx int, w string, aux bool) {
 // Run executes job to termination. One run at a time per engine:
 // concurrent calls return an error rather than sharing endpoints.
 func (e *Engine) Run(job *Job) (*Result, error) {
+	return e.RunCtx(context.Background(), job)
+}
+
+// RunCtx is Run with cancellation: when ctx is done the master
+// terminates every task and returns an error wrapping ctx's cause, so
+// errors.Is(err, context.Canceled) (or DeadlineExceeded) holds.
+func (e *Engine) RunCtx(ctx context.Context, job *Job) (*Result, error) {
 	e.mu.Lock()
 	if e.running {
 		e.mu.Unlock()
@@ -259,7 +280,11 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		e.running = false
 		e.mu.Unlock()
 	}()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: job %s: %w", job.Name, err)
+	}
 	start := time.Now()
+	e.opts.Trace.Emit(trace.KindRunStart, "master", -1, 0, trace.Attr{Key: "job", Value: job.Name})
 	phases := job.Phases()
 	aux := job.auxiliary
 	for i, p := range phases {
@@ -410,7 +435,11 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	}()
 
 	initTime := time.Since(start)
-	res, err := e.masterLoop(job, phases, aux, run, n, auxN, master, tasks, start)
+	// The one-time init (§3.1) is charged to iteration 1, the way the
+	// paper's first-iteration curves embed it.
+	e.opts.Trace.RecordSpan(trace.SpanRunInit, "master", -1, 1, start, initTime)
+	res, err := e.masterLoop(ctx, job, phases, aux, run, n, auxN, master, tasks, start)
+	e.opts.Trace.Emit(trace.KindRunFinish, "master", -1, 0, trace.Attr{Key: "job", Value: job.Name})
 	if err != nil {
 		return nil, err
 	}
@@ -592,6 +621,8 @@ func (e *Engine) spawnTasks(job *Job, phases []*Job, aux *Job, run *runState, n,
 				ts.phase0Maps = append(ts.phase0Maps, mep.Addr())
 			}
 			e.m.Add(metrics.TasksLaunched, 2)
+			e.opts.Trace.Emit(trace.KindTaskLaunch, run.pairWorker[i], i, 0,
+				trace.Attr{Key: "phase", Value: fmt.Sprint(pi)})
 			go mt.loop()
 			go rt.loop()
 		}
@@ -650,6 +681,8 @@ func (e *Engine) spawnTasks(job *Job, phases []*Job, aux *Job, run *runState, n,
 			}
 			ts.auxByPair[i] = append(ts.auxByPair[i], mep.Addr(), rep.Addr())
 			e.m.Add(metrics.TasksLaunched, 2)
+			e.opts.Trace.Emit(trace.KindTaskLaunch, run.auxWorker[i], n+i, 0,
+				trace.Attr{Key: "phase", Value: "aux"})
 			go mt.loop()
 			go rt.loop()
 		}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 
 	"imapreduce/internal/kv"
 )
@@ -29,19 +31,85 @@ type JobConf struct {
 	errs []error
 }
 
+// Key is a typed JobConf configuration key. Using a distinct type makes
+// a misspelled literal fail loudly at Build time with a suggestion,
+// while untyped string constants (the Conf* aliases below, and string
+// literals at call sites) still convert implicitly.
+type Key string
+
 // Configuration keys, named as in the paper.
 const (
-	ConfStatePath  = "mapred.iterjob.statepath"
-	ConfStaticPath = "mapred.iterjob.staticpath"
-	ConfOutputPath = "mapred.iterjob.outputpath"
-	ConfMaxIter    = "mapred.iterjob.maxiter"
-	ConfDistThresh = "mapred.iterjob.disthresh"
-	ConfMapping    = "mapred.iterjob.mapping"
-	ConfSync       = "mapred.iterjob.sync"
-	ConfNumTasks   = "mapred.iterjob.numtasks"
-	ConfBuffer     = "mapred.iterjob.buffer"
-	ConfCheckpoint = "mapred.iterjob.checkpoint"
+	KeyStatePath  Key = "mapred.iterjob.statepath"
+	KeyStaticPath Key = "mapred.iterjob.staticpath"
+	KeyOutputPath Key = "mapred.iterjob.outputpath"
+	KeyMaxIter    Key = "mapred.iterjob.maxiter"
+	KeyDistThresh Key = "mapred.iterjob.disthresh"
+	KeyMapping    Key = "mapred.iterjob.mapping"
+	KeySync       Key = "mapred.iterjob.sync"
+	KeyNumTasks   Key = "mapred.iterjob.numtasks"
+	KeyBuffer     Key = "mapred.iterjob.buffer"
+	KeyCheckpoint Key = "mapred.iterjob.checkpoint"
 )
+
+// Aliases of the typed keys under their original names, kept for
+// source compatibility.
+const (
+	ConfStatePath  = KeyStatePath
+	ConfStaticPath = KeyStaticPath
+	ConfOutputPath = KeyOutputPath
+	ConfMaxIter    = KeyMaxIter
+	ConfDistThresh = KeyDistThresh
+	ConfMapping    = KeyMapping
+	ConfSync       = KeySync
+	ConfNumTasks   = KeyNumTasks
+	ConfBuffer     = KeyBuffer
+	ConfCheckpoint = KeyCheckpoint
+)
+
+// knownKeys lists every valid key, for the unknown-key suggestion.
+var knownKeys = []Key{
+	KeyStatePath, KeyStaticPath, KeyOutputPath, KeyMaxIter, KeyDistThresh,
+	KeyMapping, KeySync, KeyNumTasks, KeyBuffer, KeyCheckpoint,
+}
+
+// failUnknown reports an unrecognized key, suggesting the closest known
+// key when the typo is plausibly a misspelling of a mapred.* key.
+func (c *JobConf) failUnknown(key Key) {
+	best, bestDist := Key(""), 4
+	if strings.HasPrefix(string(key), "mapred.") {
+		for _, k := range knownKeys {
+			if d := editDistance(string(key), string(k)); d < bestDist {
+				best, bestDist = k, d
+			}
+		}
+	}
+	if best != "" {
+		c.fail("core: unknown configuration key %q (did you mean %q?)", key, best)
+		return
+	}
+	c.fail("core: unknown configuration key %q", key)
+}
+
+// editDistance is the Levenshtein distance, small-string sized.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
 
 // NewJobConf starts a configuration for a named job.
 func NewJobConf(name string) *JobConf {
@@ -53,8 +121,9 @@ func (c *JobConf) fail(format string, args ...any) {
 }
 
 // Set assigns a string-valued key. Integer, float and boolean keys
-// accept their string forms, as Hadoop configurations do.
-func (c *JobConf) Set(key, value string) *JobConf {
+// accept their string forms, as Hadoop configurations do. Unknown keys
+// are collected and reported at Build time.
+func (c *JobConf) Set(key Key, value string) *JobConf {
 	switch key {
 	case ConfStatePath:
 		c.job.StatePath = value
@@ -93,14 +162,14 @@ func (c *JobConf) Set(key, value string) *JobConf {
 		}
 		c.SetBool(key, b)
 	default:
-		c.fail("core: unknown configuration key %q", key)
+		c.failUnknown(key)
 	}
 	return c
 }
 
 // SetInt assigns an integer-valued key
 // (job.setInt("mapred.iterjob.maxiter", n) in the paper).
-func (c *JobConf) SetInt(key string, v int) *JobConf {
+func (c *JobConf) SetInt(key Key, v int) *JobConf {
 	switch key {
 	case ConfMaxIter:
 		c.job.MaxIter = v
@@ -118,7 +187,7 @@ func (c *JobConf) SetInt(key string, v int) *JobConf {
 
 // SetFloat assigns a float-valued key
 // (job.setFloat("mapred.iterjob.disthresh", eps)).
-func (c *JobConf) SetFloat(key string, v float64) *JobConf {
+func (c *JobConf) SetFloat(key Key, v float64) *JobConf {
 	switch key {
 	case ConfDistThresh:
 		c.job.DistThreshold = v
@@ -130,7 +199,7 @@ func (c *JobConf) SetFloat(key string, v float64) *JobConf {
 
 // SetBool assigns a boolean key
 // (job.setBoolean("mapred.iterjob.sync", true)).
-func (c *JobConf) SetBool(key string, v bool) *JobConf {
+func (c *JobConf) SetBool(key Key, v bool) *JobConf {
 	switch key {
 	case ConfSync:
 		c.job.SyncMap = v
@@ -176,10 +245,11 @@ func (c *JobConf) AddAuxiliary(aux *JobConf, decide func(iter int, outputs []kv.
 	return c
 }
 
-// Build returns the configured Job, or the first configuration error.
+// Build returns the configured Job, or every configuration error
+// collected so far, joined.
 func (c *JobConf) Build() (*Job, error) {
 	if len(c.errs) > 0 {
-		return nil, c.errs[0]
+		return nil, errors.Join(c.errs...)
 	}
 	return c.job, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"imapreduce/internal/kv"
@@ -63,6 +64,35 @@ func TestJobConfErrors(t *testing.T) {
 		if _, err := c.Build(); err == nil {
 			t.Errorf("case %d: bad configuration accepted", i)
 		}
+	}
+}
+
+func TestJobConfUnknownKeySuggestion(t *testing.T) {
+	_, err := NewJobConf("t").Set("mapred.iterjob.statepaths", "/s").Build()
+	if err == nil {
+		t.Fatal("misspelled key accepted")
+	}
+	if !strings.Contains(err.Error(), string(KeyStatePath)) {
+		t.Fatalf("no suggestion in error: %v", err)
+	}
+	// Keys far from any mapred.* key get no guess.
+	_, err = NewJobConf("t").Set("bogus.key", "v").Build()
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("unexpected suggestion: %v", err)
+	}
+}
+
+func TestJobConfJoinsAllErrors(t *testing.T) {
+	_, err := NewJobConf("t").
+		Set("bogus.key", "v").
+		Set(ConfMaxIter, "notanumber").
+		Build()
+	if err == nil {
+		t.Fatal("errors swallowed")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "bogus.key") || !strings.Contains(msg, "notanumber") {
+		t.Fatalf("Build dropped an error: %v", err)
 	}
 }
 

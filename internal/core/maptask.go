@@ -6,6 +6,7 @@ import (
 
 	"imapreduce/internal/kv"
 	"imapreduce/internal/metrics"
+	"imapreduce/internal/trace"
 	"imapreduce/internal/transport"
 )
 
@@ -54,6 +55,21 @@ type mapTask struct {
 	// command was already obeyed, making duplicated cmdGo a no-op.
 	seq       int64
 	loadedGen int
+	// idleAt marks when the task last went idle; set only when tracing,
+	// it anchors the per-iteration wait span. Compute spans emitted for
+	// streamed chunks inside the window are carved out of the wait by
+	// the decomposition's factor priority, so the wait never double-
+	// counts asynchronous work.
+	idleAt time.Time
+}
+
+// tid is the task's pair lane in the trace: auxiliary pairs are offset
+// past the main pairs so the two never share a lane.
+func (t *mapTask) tid() int {
+	if t.isAux {
+		return t.run.mainTasks + t.idx
+	}
+	return t.idx
 }
 
 // chunkKey identifies one data chunk within an iteration accumulator:
@@ -99,9 +115,17 @@ func (t *mapTask) loop() {
 					t.worker = pl.Worker
 					// A relaunched map task loads its static data block from
 					// its DFS replica (§3.4.2), now typically a remote read.
+					var lstart time.Time
+					if tr := t.e.opts.Trace; tr != nil {
+						lstart = time.Now()
+					}
 					if err := t.loadStatic(); err != nil {
 						t.fatal(err)
 						return
+					}
+					if tr := t.e.opts.Trace; tr != nil {
+						tr.RecordSpan(trace.SpanLoad, t.worker, t.tid(), max(t.iter, 1),
+							lstart, time.Since(lstart))
 					}
 				case cmdRollback:
 					t.rollback(pl)
@@ -160,6 +184,9 @@ func (t *mapTask) rollback(cmd cmdMsg) {
 	t.iter = cmd.ToIter + 1
 	t.pend = make(map[int]*mapAccum)
 	t.outBuf = make([][]kv.Pair, t.numReduce)
+	if t.e.opts.Trace != nil {
+		t.idleAt = time.Now()
+	}
 	t.send(masterAddr(t.jobName), kindCmd, rbAckMsg{Gen: t.gen, Phase: t.phase, Task: t.idx}, 0)
 }
 
@@ -183,6 +210,10 @@ func (t *mapTask) selfLoad(cmd cmdMsg) {
 		}
 	}
 	var pairs []kv.Pair
+	var lstart time.Time
+	if tr := t.e.opts.Trace; tr != nil {
+		lstart = time.Now()
+	}
 	for _, p := range parts {
 		recs, err := t.e.fs.ReadFile(t.run.ckptPath(toIter, p), t.worker)
 		if err != nil {
@@ -190,6 +221,9 @@ func (t *mapTask) selfLoad(cmd cmdMsg) {
 			return
 		}
 		pairs = append(pairs, recs...)
+	}
+	if tr := t.e.opts.Trace; tr != nil {
+		tr.RecordSpan(trace.SpanLoad, t.worker, t.tid(), t.iter, lstart, time.Since(lstart))
 	}
 	t.seq++
 	t.handleState(stateChunk{Gen: t.gen, Iter: t.iter, From: -1, Seq: t.seq, Pairs: pairs, End: true})
@@ -241,6 +275,14 @@ func (t *mapTask) tryComplete() {
 		if a == nil || a.ends < t.feeders {
 			return
 		}
+		// The idle window closes here: everything since the task last
+		// went idle that wasn't covered by a compute/shuffle span
+		// (streamed chunks) was spent waiting for this iteration's
+		// input.
+		if tr := t.e.opts.Trace; tr != nil && !t.idleAt.IsZero() {
+			tr.RecordSpan(trace.SpanWait, t.worker, t.tid(), t.iter,
+				t.idleAt, time.Since(t.idleAt))
+		}
 		t.lastIn = len(a.pairs)
 		if t.broadcast {
 			t.processBroadcast(t.iter, a.pairs)
@@ -250,6 +292,9 @@ func (t *mapTask) tryComplete() {
 		t.flushEnds(t.iter)
 		delete(t.pend, t.iter)
 		t.iter++
+		if t.e.opts.Trace != nil {
+			t.idleAt = time.Now()
+		}
 	}
 }
 
@@ -269,6 +314,7 @@ func (t *mapTask) process(iter int, pairs []kv.Pair) {
 		}
 	}
 	t.e.stretch(t.worker, time.Since(start))
+	t.e.opts.Trace.RecordSpan(trace.SpanMap, t.worker, t.tid(), iter, start, time.Since(start))
 }
 
 // processBroadcast runs the user map once per static record with the
@@ -284,6 +330,7 @@ func (t *mapTask) processBroadcast(iter int, statePairs []kv.Pair) {
 		}
 	}
 	t.e.stretch(t.worker, time.Since(start))
+	t.e.opts.Trace.RecordSpan(trace.SpanMap, t.worker, t.tid(), iter, start, time.Since(start))
 }
 
 // emitFn returns the emit callback for one iteration's map output: pairs
@@ -311,6 +358,13 @@ func (t *mapTask) emitFn(iter int) kv.Emit {
 // never written again. The buffer is reused only on the combiner
 // shrink path, where the sent slice is a fresh allocation.
 func (t *mapTask) sendShuffle(iter, r int, end bool) {
+	var sstart time.Time
+	if tr := t.e.opts.Trace; tr != nil {
+		sstart = time.Now()
+		defer func() {
+			tr.RecordSpan(trace.SpanShuffle, t.worker, t.tid(), iter, sstart, time.Since(sstart))
+		}()
+	}
 	pairs := t.outBuf[r]
 	reused := false
 	if t.job.Combine != nil && len(pairs) > 1 {

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"imapreduce/internal/kv"
 	"imapreduce/internal/metrics"
+	"imapreduce/internal/trace"
 	"imapreduce/internal/transport"
 )
 
@@ -14,7 +16,7 @@ import (
 // distance reports, decides termination, coordinates checkpoints,
 // migrates task pairs off slow workers, and recovers from worker
 // failures by rolling the cluster back to the last durable checkpoint.
-func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
+func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *Job, run *runState,
 	n, auxN int, master transport.Endpoint, ts *taskSet, start time.Time) (*Result, error) {
 
 	last := phases[len(phases)-1]
@@ -84,6 +86,8 @@ func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
 				delete(perIter, it)
 			}
 		}
+		e.opts.Trace.Emit(trace.KindRollback, "master", -1, toIter,
+			trace.Attr{Key: "gen", Value: fmt.Sprint(gen)})
 		sendCmd(ts.all, cmdMsg{Kind: cmdRollback, Gen: gen, ToIter: toIter})
 	}
 
@@ -197,6 +201,9 @@ func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
 			}
 			deadline = time.Now().Add(e.opts.Timeout)
 			msg = m
+		case <-ctx.Done():
+			terminate()
+			return nil, fmt.Errorf("core: job %s: run canceled: %w", job.Name, context.Cause(ctx))
 		case <-beatCheck:
 			limit := time.Duration(e.opts.HeartbeatMisses) * e.opts.HeartbeatInterval
 			hosting := hostingWorkers()
@@ -340,6 +347,11 @@ func (e *Engine) masterLoop(job *Job, phases []*Job, aux *Job, run *runState,
 				CumShuffleBytes: e.m.Get(metrics.ShuffleBytes),
 				CumStateBytes:   e.m.Get(metrics.StateBytes),
 			}
+			e.m.Add(metrics.Iterations, 1)
+			e.opts.Trace.Emit(trace.KindIterDone, "master", -1, iter)
+			if cb := e.opts.OnIteration; cb != nil {
+				cb(perIter[iter])
+			}
 			stop := auxStop
 			if last.MaxIter > 0 && iter >= last.MaxIter {
 				stop = true
@@ -463,6 +475,8 @@ func (e *Engine) maybeMigrate(master transport.Endpoint, run *runState, ts *task
 	}
 	migratedCount[slow.task]++
 	e.m.Add(metrics.TaskMigrations, 1)
+	e.opts.Trace.Emit(trace.KindTaskMigrate, fast, slow.task, iter,
+		trace.Attr{Key: "from", Value: slow.worker})
 	return true
 }
 

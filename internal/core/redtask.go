@@ -6,6 +6,7 @@ import (
 
 	"imapreduce/internal/kv"
 	"imapreduce/internal/metrics"
+	"imapreduce/internal/trace"
 	"imapreduce/internal/transport"
 )
 
@@ -72,6 +73,24 @@ type reduceTask struct {
 	// seq numbers outgoing state chunks for receiver-side duplicate
 	// suppression.
 	seq int64
+	// ownDone records, per pending iteration, when this pair's own map
+	// finished (its End chunk arrived). Tracing only: the interval from
+	// there to the last map's End is the barrier wait — the §3.3 cost
+	// the asynchronous engine tries to hide.
+	ownDone map[int]time.Time
+	// idleSince is when this reduce last went idle (finished delivering
+	// an iteration). Tracing only: from the second iteration on, the
+	// barrier span starts here, so inter-iteration idle is classified as
+	// sync wait — mirroring the map side's SpanWait window.
+	idleSince time.Time
+}
+
+// tid mirrors mapTask.tid: auxiliary pairs get their own trace lanes.
+func (t *reduceTask) tid() int {
+	if t.isAux {
+		return t.run.mainTasks + t.idx
+	}
+	return t.idx
 }
 
 type redAccum struct {
@@ -142,6 +161,10 @@ func (t *reduceTask) rollback(cmd cmdMsg) {
 	t.pend = make(map[int]*redAccum)
 	t.outBuf = nil
 	t.held = make(map[int][]kv.Pair)
+	t.ownDone = nil
+	if t.e.opts.Trace != nil {
+		t.idleSince = time.Now()
+	}
 	defer t.send(masterAddr(t.jobName), kindCmd, rbAckMsg{Gen: t.gen, Phase: t.phase, Task: t.idx}, 0)
 	if !t.isTermination {
 		return
@@ -174,16 +197,42 @@ func (t *reduceTask) handleShuffle(c shuffleChunk) {
 	a.pairs = append(a.pairs, c.Pairs...)
 	if c.End {
 		a.ends++
+		if t.e.opts.Trace != nil && c.FromMap == t.idx {
+			if t.ownDone == nil {
+				t.ownDone = make(map[int]time.Time)
+			}
+			t.ownDone[c.Iter] = time.Now()
+		}
 	}
 	for {
 		a := t.pend[t.iter]
 		if a == nil || a.ends < t.numMaps {
 			return
 		}
+		if tr := t.e.opts.Trace; tr != nil {
+			// The barrier window opens when this reduce went idle (or,
+			// in the first iteration, when its own map finished) and
+			// closes now that the slowest map's End has arrived. The
+			// window may overlap the pair's own map spans — the
+			// decomposition sweep resolves that by factor priority, so
+			// only genuine idle time lands in sync wait.
+			start := t.idleSince
+			if own, ok := t.ownDone[t.iter]; ok && start.IsZero() {
+				start = own
+			}
+			delete(t.ownDone, t.iter)
+			if !start.IsZero() {
+				tr.RecordSpan(trace.SpanBarrier, t.worker, t.tid(), t.iter,
+					start, time.Since(start))
+			}
+		}
 		t.lastIn = len(a.pairs)
 		t.finishIteration(t.iter, a.pairs)
 		delete(t.pend, t.iter)
 		t.iter++
+		if t.e.opts.Trace != nil {
+			t.idleSince = time.Now()
+		}
 	}
 }
 
@@ -193,6 +242,7 @@ func (t *reduceTask) finishIteration(iter int, pairs []kv.Pair) {
 	start := time.Now()
 	t.feedMain = !(t.isTermination && t.job.MaxIter > 0 && iter >= t.job.MaxIter)
 	groups := kv.GroupPairs(pairs, t.job.Ops)
+	t.e.opts.Trace.RecordSpan(trace.SpanSortGroup, t.worker, t.tid(), iter, start, time.Since(start))
 	out := make([]kv.Pair, 0, len(groups))
 	var dist float64
 	for _, g := range groups {
@@ -225,13 +275,14 @@ func (t *reduceTask) finishIteration(iter int, pairs []kv.Pair) {
 	compute := time.Since(start)
 	t.e.stretch(t.worker, compute)
 	elapsed := t.e.spec.StretchFor(t.worker, compute)
+	t.e.opts.Trace.RecordSpan(trace.SpanReduce, t.worker, t.tid(), iter, start, time.Since(start))
 
 	if t.gated {
 		// Auxiliary copies flow immediately (the aux phase must see the
 		// data to decide); the loop-back is held for the master's
 		// termination verdict.
 		if len(t.auxAddrs) > 0 {
-			t.deliverChunk(t.auxAddrs, t.auxPhase, iter, out, true)
+			t.deliverChunk(t.auxAddrs, t.auxPhase, iter, iter, out, true)
 		}
 		if t.feedMain && !t.toMaster {
 			t.held[iter] = out
@@ -261,7 +312,7 @@ func (t *reduceTask) finishIteration(iter int, pairs []kv.Pair) {
 func (t *reduceTask) deliverMain(iter int) {
 	pairs := t.outBuf
 	t.outBuf = nil
-	t.deliverChunk(t.targetAddrs, t.targetPhase, iter+t.targetIterDelta, pairs, true)
+	t.deliverChunk(t.targetAddrs, t.targetPhase, iter, iter+t.targetIterDelta, pairs, true)
 }
 
 // flushStreaming sends buffered new-state records to the next phase's
@@ -274,16 +325,25 @@ func (t *reduceTask) flushStreaming(iter int, end bool) {
 		return
 	}
 	if !t.toMaster && t.feedMain {
-		t.deliverChunk(t.targetAddrs, t.targetPhase, iter+t.targetIterDelta, pairs, end)
+		t.deliverChunk(t.targetAddrs, t.targetPhase, iter, iter+t.targetIterDelta, pairs, end)
 	}
 	if len(t.auxAddrs) > 0 {
-		t.deliverChunk(t.auxAddrs, t.auxPhase, iter, pairs, end)
+		t.deliverChunk(t.auxAddrs, t.auxPhase, iter, iter, pairs, end)
 	}
 }
 
 // deliverChunk sends one state chunk to each address, accounting local
-// vs cross-worker traffic.
-func (t *reduceTask) deliverChunk(addrs []string, phase, tagIter int, pairs []kv.Pair, end bool) {
+// vs cross-worker traffic. srcIter is the iteration that produced the
+// chunk (its trace attribution); tagIter is the iteration the receiver
+// files it under (srcIter+1 across the loop-back).
+func (t *reduceTask) deliverChunk(addrs []string, phase, srcIter, tagIter int, pairs []kv.Pair, end bool) {
+	var sstart time.Time
+	if tr := t.e.opts.Trace; tr != nil {
+		sstart = time.Now()
+		defer func() {
+			tr.RecordSpan(trace.SpanStateSend, t.worker, t.tid(), srcIter, sstart, time.Since(sstart))
+		}()
+	}
 	var size int64
 	for _, p := range pairs {
 		size += int64(t.job.Ops.PairSize(p))
@@ -313,12 +373,14 @@ func (t *reduceTask) checkpoint(iter int, out []kv.Pair) {
 	path := t.run.ckptPath(iter, t.idx)
 	gen := t.gen
 	worker := t.worker // capture: the loop may reassign while we write
+	tid := t.tid()
 	go func() {
 		if err := t.e.fs.WriteFile(path, worker, snapshot, t.job.Ops); err != nil {
 			t.fatal(fmt.Errorf("reduce %d/%d: checkpoint %d: %w", t.phase, t.idx, iter, err))
 			return
 		}
 		t.e.m.Add(metrics.Checkpoints, 1)
+		t.e.opts.Trace.Emit(trace.KindCheckpoint, worker, tid, iter)
 		t.send(masterAddr(t.jobName), kindCkpt, ckptMsg{Gen: gen, Iter: iter, Task: t.idx}, 0)
 	}()
 }
@@ -329,6 +391,14 @@ func (t *reduceTask) checkpoint(iter int, out []kv.Pair) {
 func (t *reduceTask) writeFinal() {
 	if !t.isTermination {
 		return
+	}
+	var fstart time.Time
+	if tr := t.e.opts.Trace; tr != nil {
+		fstart = time.Now()
+		defer func() {
+			tr.RecordSpan(trace.SpanFinal, t.worker, t.tid(), t.iter, fstart, time.Since(fstart))
+			tr.Emit(trace.KindTaskFinish, t.worker, t.tid(), t.iter)
+		}()
 	}
 	out := make([]kv.Pair, 0, len(t.prev))
 	for k, v := range t.prev {

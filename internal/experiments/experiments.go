@@ -17,6 +17,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"imapreduce/internal/trace"
 )
 
 // Series is one labeled curve or bar group.
@@ -189,6 +191,10 @@ type Config struct {
 	// for in-process channels, "tcp" for real loopback sockets (the
 	// paper's persistent connections, exercising the wire codecs).
 	Transport string
+	// Trace, if set, receives structured events from every engine run
+	// built on this Config (and from the transport when Transport is
+	// "tcp").
+	Trace *trace.Recorder
 }
 
 // Default is the full-size (still laptop-friendly) configuration.

@@ -38,15 +38,17 @@ func newEnv(cfg Config) (*env, error) {
 	case "", "chan":
 		net = transport.NewChanNetwork()
 	case "tcp":
-		net = transport.NewTCPNetwork()
+		tcp := transport.NewTCPNetwork()
+		tcp.SetTrace(cfg.Trace)
+		net = tcp
 	default:
 		return nil, fmt.Errorf("experiments: unknown transport %q", cfg.Transport)
 	}
-	ce, err := core.NewEngine(fs, net, spec, m, core.Options{Timeout: 5 * time.Minute})
+	ce, err := core.NewEngine(fs, net, spec, m, core.Options{Timeout: 5 * time.Minute, Trace: cfg.Trace})
 	if err != nil {
 		return nil, err
 	}
-	me, err := mapreduce.NewEngine(fs, spec, m, mapreduce.Options{LocalityAware: true})
+	me, err := mapreduce.NewEngine(fs, spec, m, mapreduce.Options{LocalityAware: true, Trace: cfg.Trace})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"imapreduce/internal/algorithms/pagerank"
+	"imapreduce/internal/algorithms/sssp"
+	"imapreduce/internal/core"
+	"imapreduce/internal/graph"
+	"imapreduce/internal/trace"
+)
+
+// TracedRun executes one iterative figure workload ("pagerank" or
+// "sssp" on a catalog dataset) on a fresh local cluster with rec
+// capturing events, and returns the run result. It is the shared
+// substrate for imrrun/imrbench's -trace modes and the decomposition
+// validation tests.
+func TracedRun(cfg Config, dataset, algo string, iters int, rec *trace.Recorder) (*core.Result, error) {
+	d, err := graph.ByName(dataset, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	g := d.Build()
+	cfg.Trace = rec
+	e, err := newEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var job *core.Job
+	switch algo {
+	case "pagerank":
+		if err := pagerank.WriteInputs(e.fs, e.at(), g, "/static", "/state"); err != nil {
+			return nil, err
+		}
+		job = pagerank.IMRJob(pagerank.IMRConfig{
+			Name: "trace-pr", Nodes: g.N, StaticPath: "/static", StatePath: "/state",
+			MaxIter: iters,
+		})
+	case "sssp":
+		if err := sssp.WriteInputs(e.fs, e.at(), g, 0, "/static", "/state"); err != nil {
+			return nil, err
+		}
+		job = sssp.IMRJob(sssp.IMRConfig{
+			Name: "trace-sssp", StaticPath: "/static", StatePath: "/state",
+			MaxIter: iters,
+		})
+	default:
+		return nil, fmt.Errorf("experiments: unknown algo %q", algo)
+	}
+	return e.core.Run(job)
+}

@@ -11,7 +11,9 @@
 package imr
 
 import (
+	"context"
 	"fmt"
+	"reflect"
 	"time"
 
 	"imapreduce/internal/cluster"
@@ -20,6 +22,7 @@ import (
 	"imapreduce/internal/kv"
 	"imapreduce/internal/mapreduce"
 	"imapreduce/internal/metrics"
+	"imapreduce/internal/trace"
 	"imapreduce/internal/transport"
 )
 
@@ -52,6 +55,12 @@ type Options struct {
 	Core *core.Options
 	// Metrics receives the run counters (a fresh set by default).
 	Metrics *metrics.Set
+	// Trace, if set, receives structured events from both engines and
+	// (on TCP clusters) the transport. Nil disables tracing at no cost.
+	Trace *trace.Recorder
+	// OnIteration, if set, is called from the iterative master at every
+	// committed iteration boundary.
+	OnIteration func(core.IterInfo)
 }
 
 // Cluster bundles one simulated cluster with both execution engines
@@ -94,6 +103,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 	if opts.MapReduce != nil {
 		mrOpts = *opts.MapReduce
 	}
+	if mrOpts.Trace == nil {
+		mrOpts.Trace = opts.Trace
+	}
 	mrEngine, err := mapreduce.NewEngine(fs, spec, m, mrOpts)
 	if err != nil {
 		return nil, err
@@ -101,7 +113,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 
 	var net transport.Network = transport.NewChanNetwork()
 	if opts.TCP {
-		net = transport.NewTCPNetwork()
+		tcp := transport.NewTCPNetwork()
+		tcp.SetTrace(opts.Trace)
+		net = tcp
 	}
 	if opts.Network != nil {
 		net = opts.Network
@@ -109,6 +123,12 @@ func NewCluster(opts Options) (*Cluster, error) {
 	coreOpts := core.Options{}
 	if opts.Core != nil {
 		coreOpts = *opts.Core
+	}
+	if coreOpts.Trace == nil {
+		coreOpts.Trace = opts.Trace
+	}
+	if coreOpts.OnIteration == nil {
+		coreOpts.OnIteration = opts.OnIteration
 	}
 	coreEngine, err := core.NewEngine(fs, net, spec, m, coreOpts)
 	if err != nil {
@@ -122,6 +142,13 @@ func (c *Cluster) RunJob(job *mapreduce.Job) (*mapreduce.JobResult, error) {
 	return c.mr.Submit(job)
 }
 
+// RunJobCtx is RunJob with cancellation: when ctx is canceled the job
+// stops at the next phase-collection point and the returned error wraps
+// context.Canceled (or ctx's cause).
+func (c *Cluster) RunJobCtx(ctx context.Context, job *mapreduce.Job) (*mapreduce.JobResult, error) {
+	return c.mr.SubmitCtx(ctx, job)
+}
+
 // RunJobChain executes the baseline's iterative pattern: one job per
 // iteration plus convergence-check jobs, driven from the client.
 func (c *Cluster) RunJobChain(spec mapreduce.IterSpec) (*mapreduce.IterResult, error) {
@@ -132,6 +159,13 @@ func (c *Cluster) RunJobChain(spec mapreduce.IterSpec) (*mapreduce.IterResult, e
 // persistent tasks, static/state separation, asynchronous maps.
 func (c *Cluster) RunIterative(job *core.Job) (*core.Result, error) {
 	return c.core.Run(job)
+}
+
+// RunIterativeCtx is RunIterative with cancellation: when ctx is
+// canceled the master terminates every persistent task and the returned
+// error wraps context.Canceled (or ctx's cause).
+func (c *Cluster) RunIterativeCtx(ctx context.Context, job *core.Job) (*core.Result, error) {
+	return c.core.RunCtx(ctx, job)
 }
 
 // MapReduceEngine exposes the baseline engine for advanced use.
@@ -154,8 +188,18 @@ func (c *Cluster) Write(path string, recs []kv.Pair, ops kv.Ops) error {
 }
 
 // ReadAll collects every record under a part-file directory (or a
-// single file) into a key→value map.
+// single file) into a key→value map. It is ReadAllAs with both types
+// left dynamic; the same merge rule applies.
 func (c *Cluster) ReadAll(dir string) (map[any]any, error) {
+	return ReadAllAs[any, any](c, dir)
+}
+
+// ReadAllAs collects every record under a part-file directory (or a
+// single file) into a typed key→value map, asserting each record to
+// K/V. Merge rule: a key may appear in several part files only if every
+// occurrence carries an equal value (replicated output); part files
+// that disagree on a key are an error, never a silent overwrite.
+func ReadAllAs[K comparable, V any](c *Cluster, dir string) (map[K]V, error) {
 	paths := c.FS.List(dir + "/")
 	if len(paths) == 0 {
 		if !c.FS.Exists(dir) {
@@ -163,14 +207,25 @@ func (c *Cluster) ReadAll(dir string) (map[any]any, error) {
 		}
 		paths = []string{dir}
 	}
-	out := map[any]any{}
+	out := map[K]V{}
 	for _, p := range paths {
 		recs, err := c.FS.ReadFile(p, c.Spec.IDs()[0])
 		if err != nil {
 			return nil, err
 		}
 		for _, r := range recs {
-			out[r.Key] = r.Value
+			k, ok := r.Key.(K)
+			if !ok {
+				return nil, fmt.Errorf("imr: %s: key %v is %T, want %T", p, r.Key, r.Key, *new(K))
+			}
+			v, ok := r.Value.(V)
+			if !ok {
+				return nil, fmt.Errorf("imr: %s: value for key %v is %T, want %T", p, r.Key, r.Value, *new(V))
+			}
+			if prev, dup := out[k]; dup && !reflect.DeepEqual(prev, v) {
+				return nil, fmt.Errorf("imr: %s: key %v has conflicting values %v and %v across part files", dir, k, prev, v)
+			}
+			out[k] = v
 		}
 	}
 	return out, nil

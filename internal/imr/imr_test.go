@@ -1,6 +1,8 @@
 package imr
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -242,6 +244,132 @@ func TestReadAllMissing(t *testing.T) {
 	out, err := c.ReadAll("/single")
 	if err != nil || out[int64(1)] != 2.0 {
 		t.Fatalf("single read: %v %v", out, err)
+	}
+}
+
+func TestReadAllAsTyped(t *testing.T) {
+	c, err := NewCluster(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []kv.Pair{{Key: int64(1), Value: 0.5}, {Key: int64(2), Value: 0.25}}
+	if err := c.Write("/typed", recs, kv.OpsFor[int64, float64](nil)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAllAs[int64, float64](c, "/typed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1] != 0.5 || out[2] != 0.25 {
+		t.Fatalf("typed read: %v", out)
+	}
+	// Wrong type parameters fail loudly, not with a zero value.
+	if _, err := ReadAllAs[string, float64](c, "/typed"); err == nil {
+		t.Fatal("key type mismatch accepted")
+	}
+	if _, err := ReadAllAs[int64, string](c, "/typed"); err == nil {
+		t.Fatal("value type mismatch accepted")
+	}
+}
+
+func TestReadAllConflictingParts(t *testing.T) {
+	c, err := NewCluster(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := kv.OpsFor[int64, float64](nil)
+	if err := c.Write("/dup/part-0", []kv.Pair{{Key: int64(1), Value: 1.0}}, ops); err != nil {
+		t.Fatal(err)
+	}
+	// Same key, same value in another part file: fine (replicated output).
+	if err := c.Write("/dup/part-1", []kv.Pair{{Key: int64(1), Value: 1.0}}, ops); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := c.ReadAll("/dup"); err != nil || out[int64(1)] != 1.0 {
+		t.Fatalf("equal duplicates rejected: %v %v", out, err)
+	}
+	// Same key, different value: an error, not a silent overwrite.
+	if err := c.Write("/dup/part-2", []kv.Pair{{Key: int64(1), Value: 2.0}}, ops); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadAll("/dup"); err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Fatalf("conflict not reported: %v", err)
+	}
+}
+
+func halveJob(name string, maxIter int) *core.Job {
+	return &core.Job{
+		Name: name, StatePath: "/state", MaxIter: maxIter,
+		Map: func(key, state, static any, emit kv.Emit) error {
+			emit(key, state)
+			return nil
+		},
+		Reduce: func(key any, states []any) (any, error) {
+			time.Sleep(200 * time.Microsecond)
+			return states[0].(float64) / 2, nil
+		},
+		Ops: kv.OpsFor[int64, float64](nil),
+	}
+}
+
+func TestRunIterativeCtxCancel(t *testing.T) {
+	c, err := NewCluster(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []kv.Pair
+	for i := 0; i < 12; i++ {
+		recs = append(recs, kv.Pair{Key: int64(i), Value: 1.0})
+	}
+	if err := c.Write("/state", recs, kv.OpsFor[int64, float64](nil)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RunIterativeCtx(ctx, halveJob("canceled", 100000)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The engine must be reusable after a canceled run.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	time.AfterFunc(10*time.Millisecond, cancel2)
+	if _, err := c.RunIterativeCtx(ctx2, halveJob("canceled-midway", 100000)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: want context.Canceled, got %v", err)
+	}
+	if res, err := c.RunIterative(halveJob("clean", 3)); err != nil || res.Iterations != 3 {
+		t.Fatalf("engine not reusable after cancel: %v %v", res, err)
+	}
+}
+
+func TestRunJobCtxCancel(t *testing.T) {
+	c, err := NewCluster(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write("/in", []kv.Pair{{Key: int64(0), Value: "a b"}}, kv.OpsFor[int64, string](nil)); err != nil {
+		t.Fatal(err)
+	}
+	job := &mapreduce.Job{
+		Name: "wc-canceled", Input: []string{"/in"}, Output: "/out",
+		Map: func(key, value any, emit kv.Emit) error {
+			for _, w := range strings.Fields(value.(string)) {
+				emit(w, int64(1))
+			}
+			return nil
+		},
+		Reduce: func(key any, values []any, emit kv.Emit) error {
+			emit(key, int64(len(values)))
+			return nil
+		},
+		NumReduce: 1,
+		Ops:       kv.OpsFor[string, int64](nil),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RunJobCtx(ctx, job); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res, err := c.RunJobCtx(context.Background(), job); err != nil || res.OutputRecords != 2 {
+		t.Fatalf("engine not reusable after cancel: %v %v", res, err)
 	}
 }
 

@@ -2,9 +2,11 @@ package mapreduce
 
 import (
 	"fmt"
-	"imapreduce/internal/kv"
 	"strings"
 	"time"
+
+	"imapreduce/internal/kv"
+	"imapreduce/internal/trace"
 )
 
 // IterSpec describes an iterative algorithm implemented the Hadoop way
@@ -120,6 +122,7 @@ func RunIterative(e *Engine, spec IterSpec) (*IterResult, error) {
 		st.CumulativeWall, st.CumulativeExInit = cum, cumExInit
 		res.Stats = append(res.Stats, st)
 		res.Iterations = i
+		e.opts.Trace.Emit(trace.KindIterDone, "driver", -1, i)
 
 		if !spec.KeepOutputs && i >= 3 {
 			// iter-(i-1) is still needed as "prev" for the next check;

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"imapreduce/internal/dfs"
 	"imapreduce/internal/kv"
 	"imapreduce/internal/metrics"
+	"imapreduce/internal/trace"
 )
 
 // Options tunes engine behaviour beyond the cluster spec.
@@ -29,6 +31,9 @@ type Options struct {
 	// FailTask, if set, injects a failure into the given attempt; used
 	// by fault-tolerance tests.
 	FailTask func(job, kind string, task, attempt int) bool
+	// Trace receives job-phase spans (init, map wave, shuffle, reduce
+	// wave). nil disables tracing at no cost.
+	Trace *trace.Recorder
 }
 
 // Engine executes MapReduce jobs over a DFS and a cluster spec.
@@ -80,11 +85,21 @@ type mapResult struct {
 // Submit runs job to completion and returns its result. Jobs are run one
 // at a time per engine, like a dedicated Hadoop queue.
 func (e *Engine) Submit(job *Job) (*JobResult, error) {
+	return e.SubmitCtx(context.Background(), job)
+}
+
+// SubmitCtx is Submit with cancellation: a done ctx aborts the job
+// between task completions and returns an error wrapping ctx's cause.
+func (e *Engine) SubmitCtx(ctx context.Context, job *Job) (*JobResult, error) {
 	if err := job.validate(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %s: %w", job.Name, err)
+	}
 	e.m.Add(metrics.JobsLaunched, 1)
 	start := time.Now()
+	initPending := e.opts.Trace.Begin(trace.SpanJobInit, "master", -1, 0)
 
 	// Job submission/setup cost (scheduler, job setup tasks).
 	time.Sleep(e.spec.JobInitOverhead)
@@ -115,10 +130,13 @@ func (e *Engine) Submit(job *Job) (*JobResult, error) {
 
 	workers := e.spec.IDs()
 	assignment := e.assignSplits(splits, workers)
+	initPending.End()
 
 	res := &JobResult{Name: job.Name, OutputPath: job.Output, Counters: NewCounters()}
 
-	mapResults, mapAttempts, err := e.runMapPhase(job, splits, assignment, workers, start)
+	mapPending := e.opts.Trace.Begin(trace.SpanMapWave, "master", -1, 0)
+	mapResults, mapAttempts, err := e.runMapPhase(ctx, job, splits, assignment, workers, start)
+	mapPending.End()
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +151,9 @@ func (e *Engine) Submit(job *Job) (*JobResult, error) {
 	}
 	res.Init = initSum / time.Duration(len(mapResults))
 
-	outRecords, redAttempts, shuffleBytes, shuffleRemote, err := e.runReducePhase(job, mapResults, workers, res.Counters)
+	redPending := e.opts.Trace.Begin(trace.SpanReduceWave, "master", -1, 0)
+	outRecords, redAttempts, shuffleBytes, shuffleRemote, err := e.runReducePhase(ctx, job, mapResults, workers, res.Counters)
+	redPending.End()
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +209,7 @@ type attemptOutcome struct {
 
 // runMapPhase executes all map tasks with slot limits, retry, and
 // optional speculative backups.
-func (e *Engine) runMapPhase(job *Job, splits []dfs.Split, assignment, workers []string, jobStart time.Time) ([]mapResult, int, error) {
+func (e *Engine) runMapPhase(ctx context.Context, job *Job, splits []dfs.Split, assignment, workers []string, jobStart time.Time) ([]mapResult, int, error) {
 	slots := make(map[string]chan struct{}, len(workers))
 	for _, w := range workers {
 		slots[w] = make(chan struct{}, e.spec.MapSlots)
@@ -272,7 +292,13 @@ func (e *Engine) runMapPhase(job *Job, splits []dfs.Split, assignment, workers [
 
 	var firstErr error
 	for remaining > 0 {
-		oc := <-outcomes
+		var oc attemptOutcome
+		select {
+		case oc = <-outcomes:
+		case <-ctx.Done():
+			close(stopMon)
+			return nil, totalAttempts, fmt.Errorf("mapreduce: job %s: canceled: %w", job.Name, context.Cause(ctx))
+		}
 		mu.Lock()
 		st := &states[oc.task]
 		if st.done {
@@ -366,7 +392,7 @@ func (e *Engine) runMapAttempt(job *Job, split dfs.Split, worker string, attempt
 // with the same retry and speculative-backup policy as the map phase.
 // Duplicate attempts are safe: a reduce attempt is deterministic given
 // the map outputs and writes the same part file.
-func (e *Engine) runReducePhase(job *Job, mapResults []mapResult, workers []string, jobCounters *Counters) (outRecords, attempts int, shuffleBytes, shuffleRemote int64, err error) {
+func (e *Engine) runReducePhase(ctx context.Context, job *Job, mapResults []mapResult, workers []string, jobCounters *Counters) (outRecords, attempts int, shuffleBytes, shuffleRemote int64, err error) {
 	slots := make(map[string]chan struct{}, len(workers))
 	for _, w := range workers {
 		slots[w] = make(chan struct{}, e.spec.ReduceSlots)
@@ -452,7 +478,12 @@ func (e *Engine) runReducePhase(job *Job, mapResults []mapResult, workers []stri
 	}
 
 	for remaining > 0 {
-		oc := <-outcomes
+		var oc redOutcome
+		select {
+		case oc = <-outcomes:
+		case <-ctx.Done():
+			return 0, attempts, 0, 0, fmt.Errorf("mapreduce: job %s: canceled: %w", job.Name, context.Cause(ctx))
+		}
 		mu.Lock()
 		st := &states[oc.task]
 		if st.done {
@@ -494,6 +525,7 @@ func (e *Engine) runReduceAttempt(job *Job, task, attempt int, worker string, ma
 		return 0, 0, 0, nil, fmt.Errorf("injected failure (reduce task %d attempt %d)", task, attempt)
 	}
 
+	fetchStart := time.Now()
 	var fetched []kv.Pair
 	var bytes, remote int64
 	for _, mr := range mapResults {
@@ -505,6 +537,7 @@ func (e *Engine) runReduceAttempt(job *Job, task, attempt int, worker string, ma
 	}
 	e.m.Add(metrics.ShuffleBytes, bytes)
 	e.m.Add(metrics.ShuffleRemote, remote)
+	e.opts.Trace.RecordSpan(trace.SpanShuffleWave, worker, task, 0, fetchStart, time.Since(fetchStart))
 
 	counters := NewCounters()
 	red := job.Reduce

@@ -32,6 +32,7 @@ const (
 	SendRetries      = "send.retries"        // transport sends that needed retrying
 	SendFailures     = "send.failures"       // sends abandoned after all retries
 	HeartbeatsSent   = "heartbeats.sent"     // worker→master liveness beats
+	Iterations       = "iterations.completed" // committed iteration boundaries
 	FailuresDetected = "failures.detected"   // workers declared dead by missed heartbeats
 )
 

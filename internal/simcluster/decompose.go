@@ -1,0 +1,78 @@
+package simcluster
+
+// Decomposition splits a simulated iMapReduce run into the four factors
+// the trace recorder extracts from a real run (internal/trace): one-time
+// initialization, shuffle (network transfer plus spill/merge/loop-back
+// disk I/O), synchronization wait (barrier and straggler idle time), and
+// compute (per-record map/reduce work). The factors are per-pair
+// averages, matching trace.Decompose's 1/pairs weighting, so they sum to
+// roughly the run's wall time.
+type Decomposition struct {
+	InitSec     float64
+	ShuffleSec  float64
+	SyncWaitSec float64
+	ComputeSec  float64
+	TotalSec    float64
+}
+
+// DecomposeIMR re-derives the factor totals for a SimulateIMR run from
+// the same cost formulas; SimulateIMR itself is unchanged and supplies
+// the per-iteration wall times. Sync wait is the residual — whatever
+// wall time the average pair spends neither computing, shuffling, nor
+// initializing — clamped at zero, exactly how idle-window spans absorb
+// the remainder in a real trace.
+func DecomposeIMR(p Params, w Workload, iters int, opt IMROptions) Decomposition {
+	rs := SimulateIMR(p, w, iters, opt)
+	staticMB := float64(w.StaticBytes) / mb
+	stateMB := float64(w.Nodes*w.StateRecBytes) / mb
+	pairs := p.Instances
+
+	// Average work multiplier across pairs (skew is symmetric around 1
+	// but heterogeneous speeds are not).
+	var mapMult, redMult float64
+	for i := 0; i < pairs; i++ {
+		mapMult += p.skew(i, pairs) / p.speedOf(i%p.Instances)
+		redMult += p.skew(pairs-1-i, pairs) / p.speedOf(i%p.Instances)
+	}
+	mapMult /= float64(pairs)
+	redMult /= float64(pairs)
+
+	var d Decomposition
+	// The one-time initialization lands in iteration 1's duration in
+	// SimulateIMR, mirroring how a trace charges the run.init span there.
+	d.InitSec = rs.InitSec
+	for k := 1; k <= iters; k++ {
+		msgs := w.msgsAt(k)
+		msgMB := msgs * float64(w.MsgBytes) / mb
+		shuffleMB := msgMB
+		if opt.ShuffleStatic {
+			shuffleMB += staticMB
+		}
+
+		netSec := shuffleMB * p.remoteFrac() / p.aggNetMBps()
+		spillSec := shuffleMB / float64(pairs) / p.DiskMBps * mapMult
+		mergeSec := (shuffleMB/float64(pairs)/p.DiskMBps +
+			2*stateMB/float64(pairs)/p.DiskMBps) * redMult
+		shuffle := netSec + spillSec + mergeSec
+
+		compute := (float64(w.Nodes)+msgs)/float64(pairs)*p.MapRecUs*1e-6*mapMult +
+			(msgs+float64(w.Nodes))/float64(pairs)*p.ReduceRecUs*1e-6*redMult
+
+		initExtra := 0.0
+		if opt.PerIterationInit {
+			initExtra = p.TaskStartSec + p.JobInitSec
+		}
+
+		wall := rs.IterSec[k-1]
+		used := shuffle + compute + initExtra
+		if k == 1 {
+			used += rs.InitSec
+		}
+		d.ShuffleSec += shuffle
+		d.ComputeSec += compute
+		d.InitSec += initExtra
+		d.SyncWaitSec += max(0, wall-used)
+	}
+	d.TotalSec = rs.TotalSec
+	return d
+}

@@ -64,6 +64,32 @@ func TestFactorOrdering(t *testing.T) {
 	}
 }
 
+func TestDecomposeIMRCoversWall(t *testing.T) {
+	// The four factors are exhaustive: per-pair-average init + shuffle +
+	// compute + sync-wait must reassemble the simulated wall time (the
+	// residual construction can only undershoot when an iteration's
+	// modeled work exceeds its wall, which the clamp forgives).
+	for _, tc := range []struct {
+		name string
+		w    Workload
+	}{
+		{"sssp-m", SSSPWorkload(dataset(t, "sssp-m"))},
+		{"pagerank-m", PageRankWorkload(dataset(t, "pagerank-m"))},
+	} {
+		p := DefaultParams(20)
+		d := DecomposeIMR(p, tc.w, 10, IMROptions{})
+		sum := d.InitSec + d.ShuffleSec + d.SyncWaitSec + d.ComputeSec
+		if d.TotalSec <= 0 || sum < 0.85*d.TotalSec || sum > 1.15*d.TotalSec {
+			t.Errorf("%s: factors %.1fs don't cover wall %.1fs", tc.name, sum, d.TotalSec)
+		}
+		if d.InitSec <= 0 || d.ComputeSec <= 0 || d.ShuffleSec <= 0 {
+			t.Errorf("%s: degenerate decomposition %+v", tc.name, d)
+		}
+		t.Logf("%s: init %.1f shuffle %.1f wait %.1f compute %.1f / wall %.1f",
+			tc.name, d.InitSec, d.ShuffleSec, d.SyncWaitSec, d.ComputeSec, d.TotalSec)
+	}
+}
+
 func TestCommunicationSavings(t *testing.T) {
 	// Fig. 11: iMR's traffic is a small fraction of the baseline's.
 	for _, tc := range []struct {

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array format,
+// loadable by chrome://tracing and Perfetto. Timestamps are µs.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome exports an event stream in the Chrome trace_event JSON
+// array format. Each (worker, task) pair becomes one named thread;
+// paired B/E events are folded into complete 'X' slices first so the
+// viewer never sees an unbalanced stack.
+func WriteChrome(w io.Writer, events []Event) error {
+	// Stable thread ids per (worker, task) lane, master first.
+	type lane struct {
+		worker string
+		task   int
+	}
+	tids := make(map[lane]int)
+	tidOf := func(worker string, task int) int {
+		l := lane{worker, task}
+		id, ok := tids[l]
+		if !ok {
+			id = len(tids) + 1
+			tids[l] = id
+		}
+		return id
+	}
+
+	var out []chromeEvent
+	args := func(ev Event) map[string]any {
+		a := map[string]any{"iter": ev.Iter}
+		for _, at := range ev.Attrs {
+			a[at.Key] = at.Value
+		}
+		return a
+	}
+	for _, s := range Spans(events) {
+		out = append(out, chromeEvent{
+			Name: string(s.Kind), Ph: "X",
+			Ts:  float64(s.Start.Microseconds()),
+			Dur: float64(s.Dur.Microseconds()),
+			Pid: 1, Tid: tidOf(s.Worker, s.Task),
+			Args: map[string]any{"iter": s.Iter},
+		})
+	}
+	for _, ev := range events {
+		if ev.Ph != 'i' {
+			continue
+		}
+		out = append(out, chromeEvent{
+			Name: string(ev.Kind), Ph: "i", Scope: "t",
+			Ts:  float64(ev.Time.Microseconds()),
+			Pid: 1, Tid: tidOf(ev.Worker, ev.Task),
+			Args: args(ev),
+		})
+	}
+
+	// Thread-name metadata so lanes read "worker-1 pair-0" instead of
+	// bare tids.
+	lanes := make([]lane, 0, len(tids))
+	for l := range tids {
+		lanes = append(lanes, l)
+	}
+	sort.Slice(lanes, func(i, j int) bool { return tids[lanes[i]] < tids[lanes[j]] })
+	for _, l := range lanes {
+		name := fmt.Sprintf("%s pair-%d", l.worker, l.task)
+		if l.task < 0 {
+			name = l.worker
+		}
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[l],
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,311 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Span is a closed interval reconstructed from recorded events.
+type Span struct {
+	Kind   Kind
+	Worker string
+	Task   int
+	Iter   int
+	Start  time.Duration
+	Dur    time.Duration
+}
+
+// Spans reconstructs the closed spans of an event stream: complete
+// ('X') events map directly, 'B'/'E' pairs are matched by ID. Begins
+// without a matching end (a span still open when recording stopped, or
+// whose end was dropped by ring overflow) are discarded.
+func Spans(events []Event) []Span {
+	var out []Span
+	open := make(map[uint64]Event)
+	for _, ev := range events {
+		switch ev.Ph {
+		case 'X':
+			out = append(out, Span{
+				Kind: ev.Kind, Worker: ev.Worker, Task: ev.Task,
+				Iter: ev.Iter, Start: ev.Time, Dur: ev.Dur,
+			})
+		case 'B':
+			open[ev.ID] = ev
+		case 'E':
+			b, ok := open[ev.ID]
+			if !ok {
+				continue
+			}
+			delete(open, ev.ID)
+			d := ev.Time - b.Time
+			if d < 0 {
+				d = 0
+			}
+			out = append(out, Span{
+				Kind: b.Kind, Worker: b.Worker, Task: b.Task,
+				Iter: b.Iter, Start: b.Time, Dur: d,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// The four factors of the paper's Fig-10 decomposition. When spans of
+// different factors overlap (a shuffle send inside a map span, compute
+// streaming inside a wait window), the higher-priority factor wins the
+// overlap, so each instant of a task pair's timeline is counted once.
+const (
+	factorNone = iota
+	factorSyncWait
+	factorCompute
+	factorShuffle
+	factorInit
+	numFactors
+)
+
+func factorOf(k Kind) int {
+	switch k {
+	case SpanRunInit, SpanLoad, SpanJobInit, SpanFinal:
+		return factorInit
+	case SpanShuffle, SpanStateSend, SpanShuffleWave:
+		return factorShuffle
+	case SpanMap, SpanSortGroup, SpanReduce, SpanMapWave, SpanReduceWave:
+		return factorCompute
+	case SpanWait, SpanBarrier:
+		return factorSyncWait
+	}
+	return factorNone
+}
+
+// IterFactors is one iteration's share of each factor. The factor sums
+// are averaged across task pairs (pairs run concurrently, so the
+// average is the per-pair time the paper's figures plot); master-level
+// costs (one-time init, final output) are charged at full value.
+type IterFactors struct {
+	Iter     int
+	Wall     time.Duration // iteration window length on the master clock
+	Init     time.Duration
+	Shuffle  time.Duration
+	SyncWait time.Duration
+	Compute  time.Duration
+}
+
+func (f *IterFactors) add(factor int, d time.Duration) {
+	switch factor {
+	case factorInit:
+		f.Init += d
+	case factorShuffle:
+		f.Shuffle += d
+	case factorSyncWait:
+		f.SyncWait += d
+	case factorCompute:
+		f.Compute += d
+	}
+}
+
+// Covered is the total attributed time of the iteration.
+func (f IterFactors) Covered() time.Duration {
+	return f.Init + f.Shuffle + f.SyncWait + f.Compute
+}
+
+// Decomposition is the factor breakdown of one recorded run.
+type Decomposition struct {
+	// Wall is run.start → run.finish on the master clock.
+	Wall time.Duration
+	// Pairs is the number of distinct task pairs that emitted spans.
+	Pairs int
+	// PerIter has one row per committed iteration, in order. Tail work
+	// after the last boundary (the final output write) is charged to
+	// the last row.
+	PerIter []IterFactors
+}
+
+// Totals sums the per-iteration rows.
+func (d Decomposition) Totals() IterFactors {
+	var t IterFactors
+	for _, f := range d.PerIter {
+		t.Wall += f.Wall
+		t.Init += f.Init
+		t.Shuffle += f.Shuffle
+		t.SyncWait += f.SyncWait
+		t.Compute += f.Compute
+	}
+	return t
+}
+
+// Coverage is the fraction of run wall time the factors account for.
+// Untraced master/coordination gaps push it below 1; it can slightly
+// exceed 1 when concurrent pairs are skewed (the average pair's busy
+// time is bounded by wall, but rounding and master-level spans add up).
+func (d Decomposition) Coverage() float64 {
+	if d.Wall <= 0 {
+		return 0
+	}
+	return float64(d.Totals().Covered()) / float64(d.Wall)
+}
+
+// Decompose rolls an event stream up into the per-iteration factor
+// decomposition. Each task pair's spans are swept over one shared
+// timeline: overlapping spans are resolved by factor priority
+// (init > shuffle > compute > sync-wait), the resulting exclusive
+// segments are sliced at the master's iteration boundaries
+// (KindIterDone events), and the per-pair results are averaged.
+func Decompose(events []Event) Decomposition {
+	spans := Spans(events)
+
+	// Run extent and iteration boundaries on the master clock.
+	var runStart, runFinish time.Duration
+	haveStart, haveFinish := false, false
+	type bound struct {
+		iter int
+		t    time.Duration
+	}
+	var bounds []bound
+	for _, ev := range events {
+		end := ev.Time + ev.Dur
+		if end > runFinish && !haveFinish {
+			runFinish = end
+		}
+		switch ev.Kind {
+		case KindRunStart:
+			if !haveStart {
+				runStart, haveStart = ev.Time, true
+			}
+		case KindRunFinish:
+			runFinish, haveFinish = ev.Time, true
+		case KindIterDone:
+			bounds = append(bounds, bound{iter: ev.Iter, t: ev.Time})
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].t < bounds[j].t })
+	if len(bounds) == 0 {
+		bounds = []bound{{iter: 1, t: runFinish}}
+	}
+
+	// Iteration windows: [runStart, t1) → iter1, [t1, t2) → iter2, …;
+	// the last window stretches to runFinish to absorb the tail.
+	d := Decomposition{Wall: runFinish - runStart}
+	winStart := make([]time.Duration, len(bounds))
+	winEnd := make([]time.Duration, len(bounds))
+	prev := runStart
+	for i, b := range bounds {
+		winStart[i], winEnd[i] = prev, b.t
+		prev = b.t
+		d.PerIter = append(d.PerIter, IterFactors{Iter: b.iter, Wall: b.t - winStart[i]})
+	}
+	if runFinish > winEnd[len(bounds)-1] {
+		winEnd[len(bounds)-1] = runFinish
+	}
+
+	// deposit charges [a, b) of one factor into the iteration windows,
+	// splitting at boundaries. The first window is open on the left and
+	// the last on the right, so nothing outside the run extent is lost.
+	deposit := func(a, b time.Duration, factor int, weight float64) {
+		for i := range winStart {
+			lo, hi := winStart[i], winEnd[i]
+			if i == 0 {
+				lo = a
+			}
+			if i == len(winStart)-1 {
+				hi = b
+			}
+			lo, hi = max(lo, a), min(hi, b)
+			if hi > lo {
+				d.PerIter[i].add(factor, time.Duration(float64(hi-lo)*weight))
+			}
+		}
+	}
+
+	// Group spans per task pair; master-level spans (Task < 0) form
+	// their own full-weight group.
+	groups := make(map[int][]Span)
+	for _, s := range spans {
+		if factorOf(s.Kind) == factorNone {
+			continue
+		}
+		key := s.Task
+		if key < 0 {
+			key = -1
+		}
+		groups[key] = append(groups[key], s)
+	}
+	for t := range groups {
+		if t >= 0 {
+			d.Pairs++
+		}
+	}
+
+	for task, g := range groups {
+		weight := 1.0
+		if task >= 0 && d.Pairs > 0 {
+			weight = 1.0 / float64(d.Pairs)
+		}
+		sweep(g, func(a, b time.Duration, factor int) {
+			deposit(a, b, factor, weight)
+		})
+	}
+	return d
+}
+
+// sweep resolves a group's overlapping spans into exclusive segments,
+// assigning each instant to the highest-priority factor active there.
+func sweep(spans []Span, emit func(a, b time.Duration, factor int)) {
+	type edge struct {
+		t      time.Duration
+		factor int
+		delta  int
+	}
+	edges := make([]edge, 0, 2*len(spans))
+	for _, s := range spans {
+		f := factorOf(s.Kind)
+		if f == factorNone || s.Dur <= 0 {
+			continue
+		}
+		edges = append(edges, edge{t: s.Start, factor: f, delta: 1})
+		edges = append(edges, edge{t: s.Start + s.Dur, factor: f, delta: -1})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
+	var active [numFactors]int
+	top := func() int {
+		for f := numFactors - 1; f > factorNone; f-- {
+			if active[f] > 0 {
+				return f
+			}
+		}
+		return factorNone
+	}
+	prev := time.Duration(0)
+	for i := 0; i < len(edges); {
+		t := edges[i].t
+		if f := top(); f != factorNone && t > prev {
+			emit(prev, t, f)
+		}
+		for i < len(edges) && edges[i].t == t {
+			active[edges[i].factor] += edges[i].delta
+			i++
+		}
+		prev = t
+	}
+}
+
+// WriteTable renders the decomposition as the per-iteration table
+// imrrun -trace prints.
+func (d Decomposition) WriteTable(w io.Writer) {
+	ms := func(x time.Duration) string {
+		return fmt.Sprintf("%.3f", float64(x)/float64(time.Millisecond))
+	}
+	fmt.Fprintf(w, "%5s %12s %12s %12s %12s %12s\n",
+		"iter", "wall ms", "init ms", "shuffle ms", "syncwait ms", "compute ms")
+	for _, f := range d.PerIter {
+		fmt.Fprintf(w, "%5d %12s %12s %12s %12s %12s\n",
+			f.Iter, ms(f.Wall), ms(f.Init), ms(f.Shuffle), ms(f.SyncWait), ms(f.Compute))
+	}
+	t := d.Totals()
+	fmt.Fprintf(w, "%5s %12s %12s %12s %12s %12s\n",
+		"total", ms(t.Wall), ms(t.Init), ms(t.Shuffle), ms(t.SyncWait), ms(t.Compute))
+	fmt.Fprintf(w, "factors cover %.1f%% of %s wall across %d task pairs\n",
+		100*d.Coverage(), d.Wall.Round(10*time.Microsecond), d.Pairs)
+}

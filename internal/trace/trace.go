@@ -1,0 +1,229 @@
+// Package trace is the structured event recorder both engines emit
+// into: task lifecycle, per-iteration spans per task pair, baseline
+// MapReduce job phases, and transport events. A Recorder is a fixed-
+// capacity ring buffer of Events guarded by a mutex; every public
+// method is safe on a nil receiver, so instrumentation sites cost one
+// nil check (and no clock read) when tracing is off.
+//
+// Events carry times as durations since the Recorder was created, which
+// keeps them compact and makes a recorded run self-contained: analysis
+// (decompose.go) and export (chrome.go) never need wall-clock anchors.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind names what an event or span measures. Instant kinds mark points
+// in time; span kinds measure intervals.
+type Kind string
+
+// Instant event kinds.
+const (
+	KindRunStart    Kind = "run.start"     // iterative run accepted
+	KindRunFinish   Kind = "run.finish"    // iterative run returned
+	KindIterDone    Kind = "iter.done"     // master committed an iteration boundary
+	KindTaskLaunch  Kind = "task.launch"   // persistent map/reduce pair spawned
+	KindTaskFinish  Kind = "task.finish"   // task wrote its final output part
+	KindTaskMigrate Kind = "task.migrate"  // load balancer moved a pair
+	KindCheckpoint  Kind = "task.ckpt"     // durable state checkpoint written
+	KindRollback    Kind = "run.rollback"  // master rolled the run back
+	KindSendRetry   Kind = "send.retry"    // transport send needed retrying
+	KindSendFail    Kind = "send.fail"     // transport send abandoned
+	KindNetFlush    Kind = "net.flush"     // TCP coalescing buffer flushed
+)
+
+// Span kinds emitted by the iterative (core) engine, one set per task
+// pair per iteration.
+const (
+	SpanRunInit   Kind = "init"      // one-time job init (partitioning, task starts)
+	SpanLoad      Kind = "load"      // static/state (re)load from the DFS
+	SpanMap       Kind = "map"       // join + map over one input delivery
+	SpanShuffle   Kind = "shuffle"   // partition/combine/send of map output
+	SpanWait      Kind = "wait"      // map idle, waiting for iteration input
+	SpanBarrier   Kind = "barrier"   // reduce waiting for the slowest map
+	SpanSortGroup Kind = "sortgroup" // sort/group of the reduce input
+	SpanReduce    Kind = "reduce"    // reduce over the grouped input
+	SpanStateSend Kind = "statesend" // reduce→map state delivery
+	SpanFinal     Kind = "final"     // final output write to the DFS
+)
+
+// Span kinds emitted by the baseline MapReduce engine.
+const (
+	SpanJobInit     Kind = "mr.init"    // job submission + split planning
+	SpanMapWave     Kind = "mr.map"     // the map wave of one job
+	SpanShuffleWave Kind = "mr.shuffle" // reduce-side fetch of map output
+	SpanReduceWave  Kind = "mr.reduce"  // the reduce wave of one job
+)
+
+// Attr is one key/value annotation on an event.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Event is one recorded occurrence. Time (and Dur, for complete spans)
+// are measured from the Recorder's creation.
+type Event struct {
+	Time   time.Duration
+	Dur    time.Duration // complete spans ('X') only
+	Worker string
+	Task   int // pair index; -1 for master/driver-level events
+	Kind   Kind
+	Iter   int
+	// Ph is the event phase, following the Chrome trace_event
+	// convention: 'i' instant, 'B'/'E' paired span begin/end, 'X'
+	// complete span.
+	Ph    byte
+	ID    uint64 // pairs 'B' with 'E'
+	Attrs []Attr
+}
+
+// DefaultCapacity is the ring size NewRecorder uses when given 0.
+const DefaultCapacity = 1 << 16
+
+// Recorder collects Events into a fixed-capacity ring. When the ring
+// overflows, the oldest events are dropped (and counted); a run's tail
+// is always retained. All methods are safe for concurrent use and safe
+// on a nil *Recorder.
+type Recorder struct {
+	start time.Time
+	ids   atomic.Uint64
+
+	mu  sync.Mutex
+	buf []Event
+	n   uint64 // total events ever recorded
+}
+
+// NewRecorder returns a Recorder with the given ring capacity
+// (DefaultCapacity if capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{start: time.Now(), buf: make([]Event, 0, capacity)}
+}
+
+// Start returns the wall-clock instant event times are measured from.
+func (r *Recorder) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
+}
+
+func (r *Recorder) push(ev Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.n%uint64(cap(r.buf))] = ev
+	}
+	r.n++
+	r.mu.Unlock()
+}
+
+// Emit records an instant event stamped now.
+func (r *Recorder) Emit(kind Kind, worker string, task, iter int, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	r.push(Event{
+		Time: time.Since(r.start), Worker: worker, Task: task,
+		Kind: kind, Iter: iter, Ph: 'i', Attrs: attrs,
+	})
+}
+
+// Pending is an open span returned by Begin; End closes it.
+type Pending struct {
+	r      *Recorder
+	id     uint64
+	kind   Kind
+	worker string
+	task   int
+	iter   int
+}
+
+// Begin records a span-begin event stamped now and returns the handle
+// that ends it. On a nil Recorder both halves are no-ops.
+func (r *Recorder) Begin(kind Kind, worker string, task, iter int) Pending {
+	if r == nil {
+		return Pending{}
+	}
+	id := r.ids.Add(1)
+	r.push(Event{
+		Time: time.Since(r.start), Worker: worker, Task: task,
+		Kind: kind, Iter: iter, Ph: 'B', ID: id,
+	})
+	return Pending{r: r, id: id, kind: kind, worker: worker, task: task, iter: iter}
+}
+
+// End closes the span opened by Begin.
+func (p Pending) End() {
+	if p.r == nil {
+		return
+	}
+	p.r.push(Event{
+		Time: time.Since(p.r.start), Worker: p.worker, Task: p.task,
+		Kind: p.kind, Iter: p.iter, Ph: 'E', ID: p.id,
+	})
+}
+
+// RecordSpan records a complete span from a caller-measured start and
+// duration — the cheap form for sites that already hold a start time.
+func (r *Recorder) RecordSpan(kind Kind, worker string, task, iter int, start time.Time, d time.Duration, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	r.push(Event{
+		Time: start.Sub(r.start), Dur: d, Worker: worker, Task: task,
+		Kind: kind, Iter: iter, Ph: 'X', Attrs: attrs,
+	})
+}
+
+// Events returns a chronological copy of the retained events.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.buf))
+	if r.n <= uint64(cap(r.buf)) {
+		copy(out, r.buf)
+		return out
+	}
+	// Ring has wrapped: the oldest retained event sits at n % cap.
+	head := int(r.n % uint64(cap(r.buf)))
+	copy(out, r.buf[head:])
+	copy(out[len(r.buf)-head:], r.buf[:head])
+	return out
+}
+
+// Dropped reports how many events were evicted by ring overflow.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n <= uint64(cap(r.buf)) {
+		return 0
+	}
+	return r.n - uint64(cap(r.buf))
+}
+
+// Len reports how many events are currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}

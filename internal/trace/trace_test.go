@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanPairing(t *testing.T) {
+	r := NewRecorder(64)
+	p := r.Begin(SpanMap, "w0", 2, 3)
+	r.Emit(KindIterDone, "master", -1, 3)
+	p.End()
+	r.RecordSpan(SpanReduce, "w1", 1, 3, r.Start(), 5*time.Millisecond)
+
+	spans := Spans(r.Events())
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	byKind := map[Kind]Span{}
+	for _, s := range spans {
+		byKind[s.Kind] = s
+	}
+	m := byKind[SpanMap]
+	if m.Worker != "w0" || m.Task != 2 || m.Iter != 3 || m.Dur < 0 {
+		t.Fatalf("paired span wrong: %+v", m)
+	}
+	rd := byKind[SpanReduce]
+	if rd.Dur != 5*time.Millisecond || rd.Task != 1 {
+		t.Fatalf("complete span wrong: %+v", rd)
+	}
+}
+
+func TestUnmatchedBeginDropped(t *testing.T) {
+	r := NewRecorder(64)
+	r.Begin(SpanMap, "w0", 0, 1) // never ended
+	r.RecordSpan(SpanReduce, "w0", 0, 1, r.Start(), time.Millisecond)
+	spans := Spans(r.Events())
+	if len(spans) != 1 || spans[0].Kind != SpanReduce {
+		t.Fatalf("open span should be dropped: %+v", spans)
+	}
+}
+
+func TestRingOverflow(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 20; i++ {
+		r.Emit(KindIterDone, "master", -1, i)
+	}
+	if got := r.Dropped(); got != 12 {
+		t.Fatalf("dropped = %d, want 12", got)
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d, want 8", len(evs))
+	}
+	// The tail is retained, in order.
+	for i, ev := range evs {
+		if ev.Iter != 12+i {
+			t.Fatalf("event %d has iter %d, want %d", i, ev.Iter, 12+i)
+		}
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(KindRunStart, "m", -1, 0)
+	r.Begin(SpanMap, "w", 0, 1).End()
+	r.RecordSpan(SpanReduce, "w", 0, 1, time.Now(), time.Millisecond)
+	if r.Events() != nil || r.Dropped() != 0 || r.Len() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	r := NewRecorder(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch i % 3 {
+				case 0:
+					r.Emit(KindCheckpoint, "w", g, i)
+				case 1:
+					r.Begin(SpanMap, "w", g, i).End()
+				default:
+					r.RecordSpan(SpanShuffle, "w", g, i, time.Now(), time.Microsecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := uint64(r.Len()) + r.Dropped()
+	// 8 goroutines × 500 iterations; Begin+End is two events.
+	want := uint64(8 * (167 + 2*167 + 166))
+	if total != want {
+		t.Fatalf("recorded %d events, want %d", total, want)
+	}
+}
+
+// TestDecomposePriority checks the overlap rules: a shuffle nested in a
+// map span wins its window, compute carves streaming work out of a wait
+// window, and iteration boundaries split the factor sums.
+func TestDecomposePriority(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	mkSpan := func(kind Kind, task int, start, dur time.Duration) Event {
+		return Event{Time: start, Dur: dur, Kind: kind, Task: task, Worker: "w", Iter: 1, Ph: 'X'}
+	}
+	events := []Event{
+		{Time: 0, Kind: KindRunStart, Task: -1, Ph: 'i'},
+		// Pair 0, iteration 1: wait [0,10) with map [2,6) inside and
+		// shuffle [4,5) inside the map.
+		mkSpan(SpanWait, 0, ms(0), ms(10)),
+		mkSpan(SpanMap, 0, ms(2), ms(4)),
+		mkSpan(SpanShuffle, 0, ms(4), ms(1)),
+		{Time: ms(10), Kind: KindIterDone, Task: -1, Iter: 1, Ph: 'i'},
+		// Iteration 2: pure compute [10,14).
+		mkSpan(SpanReduce, 0, ms(10), ms(4)),
+		{Time: ms(14), Kind: KindIterDone, Task: -1, Iter: 2, Ph: 'i'},
+		{Time: ms(14), Kind: KindRunFinish, Task: -1, Ph: 'i'},
+	}
+	d := Decompose(events)
+	if d.Wall != ms(14) || d.Pairs != 1 || len(d.PerIter) != 2 {
+		t.Fatalf("frame wrong: %+v", d)
+	}
+	i1 := d.PerIter[0]
+	if i1.SyncWait != ms(6) || i1.Compute != ms(3) || i1.Shuffle != ms(1) {
+		t.Fatalf("iteration 1 factors wrong: %+v", i1)
+	}
+	i2 := d.PerIter[1]
+	if i2.Compute != ms(4) || i2.SyncWait != 0 {
+		t.Fatalf("iteration 2 factors wrong: %+v", i2)
+	}
+	if c := d.Coverage(); c < 0.99 || c > 1.01 {
+		t.Fatalf("coverage = %v, want ~1", c)
+	}
+}
+
+// TestDecomposeAveragesPairs: two pairs with identical spans must
+// contribute the per-pair average, not the sum.
+func TestDecomposeAveragesPairs(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	var events []Event
+	events = append(events, Event{Time: 0, Kind: KindRunStart, Task: -1, Ph: 'i'})
+	for task := 0; task < 2; task++ {
+		events = append(events, Event{Time: 0, Dur: ms(8), Kind: SpanMap, Task: task, Iter: 1, Ph: 'X'})
+	}
+	events = append(events,
+		Event{Time: ms(10), Kind: KindIterDone, Task: -1, Iter: 1, Ph: 'i'},
+		Event{Time: ms(10), Kind: KindRunFinish, Task: -1, Ph: 'i'})
+	d := Decompose(events)
+	if got := d.PerIter[0].Compute; got != ms(8) {
+		t.Fatalf("averaged compute = %v, want 8ms", got)
+	}
+}
+
+func TestWriteChromeParses(t *testing.T) {
+	r := NewRecorder(64)
+	r.Emit(KindRunStart, "master", -1, 0)
+	r.RecordSpan(SpanMap, "w0", 0, 1, r.Start(), 2*time.Millisecond)
+	p := r.Begin(SpanReduce, "w0", 0, 1)
+	p.End()
+	r.Emit(KindRunFinish, "master", -1, 0)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	// 2 spans + 2 instants + 2 thread-name records.
+	if len(evs) != 6 {
+		t.Fatalf("got %d chrome events, want 6", len(evs))
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	d := Decomposition{
+		Wall:  10 * time.Millisecond,
+		Pairs: 2,
+		PerIter: []IterFactors{
+			{Iter: 1, Wall: 10 * time.Millisecond, Init: 2 * time.Millisecond, Compute: 6 * time.Millisecond},
+		},
+	}
+	var buf bytes.Buffer
+	d.WriteTable(&buf)
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("syncwait")) || !bytes.Contains(buf.Bytes(), []byte("total")) {
+		t.Fatalf("table missing columns:\n%s", out)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"imapreduce/internal/trace"
 )
 
 // TCPNetwork is the real-socket backend. Every endpoint owns a loopback
@@ -35,7 +37,17 @@ type TCPNetwork struct {
 	bytes     atomic.Int64
 	msgs      atomic.Int64
 	dials     atomic.Int64
+	flushes   atomic.Int64
+	tr        atomic.Pointer[trace.Recorder]
 }
+
+// SetTrace attaches a recorder; connection flushes emit KindNetFlush
+// events into it. Call before traffic starts — connections dialed
+// earlier keep the recorder (possibly nil) they were created with.
+func (n *TCPNetwork) SetTrace(r *trace.Recorder) { n.tr.Store(r) }
+
+// Flushes reports how many coalesced buffer flushes have happened.
+func (n *TCPNetwork) Flushes() int64 { return n.flushes.Load() }
 
 // NewTCPNetwork returns an empty TCP network on the loopback interface.
 func NewTCPNetwork() *TCPNetwork {
@@ -101,6 +113,9 @@ type tcpConn struct {
 	buf      []byte       // frame scratch, reused under mu
 	gobBuf   bytes.Buffer // gob fallback scratch, reused under mu
 	flushReq chan struct{}
+	net      *TCPNetwork
+	owner    string // local endpoint address, for flush attribution
+	peer     string
 }
 
 type countingWriter struct {
@@ -347,6 +362,11 @@ func (conn *tcpConn) flushLoop(done <-chan struct{}) {
 				return
 			}
 			conn.mu.Unlock()
+			conn.net.flushes.Add(1)
+			if tr := conn.net.tr.Load(); tr != nil {
+				tr.Emit(trace.KindNetFlush, conn.owner, -1, 0,
+					trace.Attr{Key: "peer", Value: conn.peer})
+			}
 		}
 	}
 }
@@ -384,6 +404,9 @@ func (e *tcpEndpoint) connTo(peer string) (*tcpConn, error) {
 		c:        raw,
 		bw:       bufio.NewWriterSize(cw, 64<<10),
 		flushReq: make(chan struct{}, 1),
+		net:      e.net,
+		owner:    e.addr,
+		peer:     peer,
 	}
 	// Identify ourselves so the peer can attribute the stream, and flush
 	// synchronously so a dead listener is caught at dial time.
