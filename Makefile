@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short race-short bench bench-smoke trace-smoke ci clean
+.PHONY: all build vet test race short race-short bench bench-smoke trace-smoke soak ci clean
 
 all: ci
 
@@ -45,7 +45,16 @@ bench-smoke:
 trace-smoke:
 	$(GO) run ./cmd/imrbench -trace /tmp/imr-trace.json
 
-ci: vet build race-short bench-smoke trace-smoke
+# Seeded chaos soak: deterministic fault schedules (worker crash, stall,
+# link partition, DFS node loss, full engine kill + resume) against
+# SSSP/PageRank, asserting bit-identical output vs the fault-free run.
+# SOAK_ITERS scales the schedule length; failures print the reproducing
+# seed.
+SOAK_ITERS ?= 12
+soak:
+	$(GO) test ./internal/experiments -run 'TestSoak' -count=1 -v -soak.iters=$(SOAK_ITERS)
+
+ci: vet build race-short bench-smoke trace-smoke soak
 
 clean:
 	$(GO) clean ./...

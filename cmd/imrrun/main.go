@@ -11,10 +11,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"imapreduce/internal/algorithms/concomp"
@@ -48,6 +50,8 @@ func main() {
 		tcp       = flag.Bool("tcp", false, "use real TCP sockets between tasks")
 		sample    = flag.Int("sample", 5, "result records to print")
 		traceRun  = flag.Bool("trace", false, "record events and print the per-iteration factor decomposition (imr engine)")
+		resume    = flag.Bool("resume", false, "kill the whole engine mid-run, then cold-restart a fresh engine over the same DFS from the newest durable checkpoint (imr engine)")
+		ckpt      = flag.Int("ckpt", 2, "checkpoint every N iterations (imr engine, used by -resume)")
 	)
 	flag.Parse()
 	if *algo == "kmeans" {
@@ -77,7 +81,7 @@ func main() {
 	}
 
 	if *engine == "imr" || *engine == "both" {
-		runIMR(g, *algo, *source, *iters, *threshold, *workers, *tasks, *sync, *tcp, *sample, *traceRun)
+		runIMR(g, *algo, *source, *iters, *threshold, *workers, *tasks, *sync, *tcp, *sample, *traceRun, *resume, *ckpt)
 	}
 	if *engine == "mr" || *engine == "both" {
 		runMR(g, *algo, *source, *iters, *threshold, *workers, *sample)
@@ -93,7 +97,7 @@ func newCluster(workers int) (cluster.Spec, *metrics.Set, *dfs.DFS) {
 	return spec, m, fs
 }
 
-func runIMR(g *graph.Graph, algo string, source int64, iters int, threshold float64, workers, tasks int, sync, tcp bool, sample int, traceRun bool) {
+func runIMR(g *graph.Graph, algo string, source int64, iters int, threshold float64, workers, tasks int, sync, tcp bool, sample int, traceRun, resume bool, ckpt int) {
 	spec, m, fs := newCluster(workers)
 	var rec *trace.Recorder
 	if traceRun {
@@ -105,7 +109,12 @@ func runIMR(g *graph.Graph, algo string, source int64, iters int, threshold floa
 		t.SetTrace(rec)
 		net = t
 	}
-	eng, err := core.NewEngine(fs, net, spec, m, core.Options{Timeout: 10 * time.Minute, Trace: rec})
+	opts := core.Options{Timeout: 10 * time.Minute, Trace: rec}
+	var iterNow atomic.Int64
+	if resume {
+		opts.OnIteration = func(it core.IterInfo) { iterNow.Store(int64(it.Iter)) }
+	}
+	eng, err := core.NewEngine(fs, net, spec, m, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -141,11 +150,46 @@ func runIMR(g *graph.Graph, algo string, source int64, iters int, threshold floa
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", algo))
 	}
-	res, err := eng.Run(job)
+	var res *core.Result
+	if resume {
+		// Crash-restart demo: checkpoint as we go, kill the whole
+		// engine (master and every task) halfway, then build a fresh
+		// engine over the surviving DFS and resume from the newest
+		// durable manifest.
+		if job.CheckpointEvery <= 0 {
+			job.CheckpointEvery = ckpt
+		}
+		target := int64(iters / 2)
+		if target < 1 {
+			target = 1
+		}
+		go func() {
+			for iterNow.Load() < target {
+				time.Sleep(time.Millisecond)
+			}
+			eng.Kill()
+		}()
+		_, err = eng.Run(job)
+		switch {
+		case errors.Is(err, core.ErrKilled):
+			fmt.Printf("engine killed at iteration %d; cold-restarting from the newest durable checkpoint\n", iterNow.Load())
+		case err != nil:
+			fatal(err)
+		default:
+			fatal(fmt.Errorf("run finished before the kill landed; raise -iters"))
+		}
+		eng2, err2 := core.NewEngine(fs, net, spec, m, opts)
+		if err2 != nil {
+			fatal(err2)
+		}
+		res, err = eng2.Resume(job)
+	} else {
+		res, err = eng.Run(job)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\n=== iMapReduce (%s, sync=%v, tcp=%v) ===\n", algo, sync, tcp)
+	fmt.Printf("\n=== iMapReduce (%s, sync=%v, tcp=%v, resumed=%v) ===\n", algo, sync, tcp, resume)
 	fmt.Printf("%-6s %-12s %-12s\n", "iter", "cumulative", "distance")
 	for _, it := range res.PerIter {
 		fmt.Printf("%-6d %-12s %-12.6g\n", it.Iter, it.CompletedAt.Round(time.Millisecond), it.Dist)

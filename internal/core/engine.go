@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -46,6 +48,14 @@ type Options struct {
 	SendRetries int
 	// SendRetryBackoff is the initial retry backoff. Default 1ms.
 	SendRetryBackoff time.Duration
+	// CheckpointRetries bounds how many times a reduce task retries a
+	// failed checkpoint DFS write (with exponential backoff and node
+	// re-placement) before abandoning that checkpoint — the run then
+	// continues with an older rollback target instead of dying. Default 4.
+	CheckpointRetries int
+	// CheckpointRetryBackoff is the initial checkpoint retry backoff.
+	// Default 2ms.
+	CheckpointRetryBackoff time.Duration
 
 	// Trace receives the run's structured events: task lifecycle,
 	// per-iteration spans per task pair, transport retries. nil (the
@@ -70,6 +80,9 @@ type Engine struct {
 	mu           sync.Mutex
 	running      bool
 	activeMaster transport.Endpoint
+	// cancelRun cancels the active run's context; Kill uses it to
+	// emulate a whole-process crash (master included).
+	cancelRun context.CancelCauseFunc
 
 	// stallMu guards stalls: per-worker wake-up times for injected
 	// undetected hangs (StallWorker). Tasks consult it at every
@@ -100,6 +113,12 @@ func NewEngine(fs *dfs.DFS, net transport.Network, spec cluster.Spec, m *metrics
 	}
 	if opts.SendRetryBackoff <= 0 {
 		opts.SendRetryBackoff = time.Millisecond
+	}
+	if opts.CheckpointRetries <= 0 {
+		opts.CheckpointRetries = 4
+	}
+	if opts.CheckpointRetryBackoff <= 0 {
+		opts.CheckpointRetryBackoff = 2 * time.Millisecond
 	}
 	return &Engine{fs: fs, net: net, spec: spec, m: m, opts: opts, stalls: make(map[string]time.Time)}, nil
 }
@@ -132,6 +151,26 @@ func (e *Engine) stretch(worker string, d time.Duration) {
 	if extra := e.spec.StretchFor(worker, d) - d; extra > 0 {
 		time.Sleep(extra)
 	}
+}
+
+// ErrKilled is the cause a killed run's error wraps: Kill emulates the
+// whole engine process dying mid-run.
+var ErrKilled = errors.New("core: engine killed")
+
+// Kill tears the active run down as if the engine process crashed: the
+// master stops coordinating, every task aborts *without* writing final
+// output, and the run returns an error wrapping ErrKilled. The DFS
+// contents — checkpoints and committed manifests — survive untouched,
+// so a fresh engine over the same DFS can Resume the job.
+func (e *Engine) Kill() error {
+	e.mu.Lock()
+	cancel := e.cancelRun
+	e.mu.Unlock()
+	if cancel == nil {
+		return fmt.Errorf("core: no active run")
+	}
+	cancel(ErrKilled)
+	return nil
 }
 
 // FailWorker injects a worker crash into the active run: the master
@@ -264,10 +303,31 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	return e.RunCtx(context.Background(), job)
 }
 
-// RunCtx is Run with cancellation: when ctx is done the master
-// terminates every task and returns an error wrapping ctx's cause, so
-// errors.Is(err, context.Canceled) (or DeadlineExceeded) holds.
+// RunCtx is Run with cancellation: when ctx is done the master aborts
+// every task and returns an error wrapping ctx's cause, so
+// errors.Is(err, context.Canceled) (or DeadlineExceeded) holds. A
+// canceled run writes no final output.
 func (e *Engine) RunCtx(ctx context.Context, job *Job) (*Result, error) {
+	return e.runCtx(ctx, job, false)
+}
+
+// Resume cold-restarts job from its newest durable checkpoint: the
+// engine (typically a fresh one, after the previous engine died)
+// discovers the newest complete manifest in the DFS, verifies it
+// (partition files present with matching sizes and CRCs, job
+// fingerprint matching the submitted definition), rebuilds the run
+// state, and continues from the manifest's iteration. The completed
+// run's output is identical to an uninterrupted run of the same job.
+func (e *Engine) Resume(job *Job) (*Result, error) {
+	return e.ResumeCtx(context.Background(), job)
+}
+
+// ResumeCtx is Resume with cancellation.
+func (e *Engine) ResumeCtx(ctx context.Context, job *Job) (*Result, error) {
+	return e.runCtx(ctx, job, true)
+}
+
+func (e *Engine) runCtx(ctx context.Context, job *Job, resume bool) (*Result, error) {
 	e.mu.Lock()
 	if e.running {
 		e.mu.Unlock()
@@ -275,9 +335,15 @@ func (e *Engine) RunCtx(ctx context.Context, job *Job) (*Result, error) {
 	}
 	e.running = true
 	e.mu.Unlock()
+	ctx, cancel := context.WithCancelCause(ctx)
+	e.mu.Lock()
+	e.cancelRun = cancel
+	e.mu.Unlock()
 	defer func() {
+		cancel(nil)
 		e.mu.Lock()
 		e.running = false
+		e.cancelRun = nil
 		e.mu.Unlock()
 	}()
 	if err := ctx.Err(); err != nil {
@@ -363,6 +429,37 @@ func (e *Engine) RunCtx(ctx context.Context, job *Job) (*Result, error) {
 		run.auxWorker[i] = workers[i%len(workers)]
 	}
 
+	// Resume: locate and verify the newest durable manifest before
+	// spending anything on initialization. Its placement is adopted when
+	// every recorded worker is still in the cluster, so partitions land
+	// where their data already is; otherwise the round-robin default
+	// stands and reads go remote.
+	resumeFrom := 0
+	if resume {
+		man, err := e.findManifest(job, n, auxN, len(phases))
+		if err != nil {
+			return nil, err
+		}
+		resumeFrom = man.Iter
+		known := make(map[string]bool, len(workers))
+		for _, w := range workers {
+			known[w] = true
+		}
+		adopt := len(man.Placement) == n && len(man.AuxPlacement) == auxN
+		for _, w := range append(append([]string(nil), man.Placement...), man.AuxPlacement...) {
+			if !known[w] {
+				adopt = false
+			}
+		}
+		if adopt {
+			copy(run.pairWorker, man.Placement)
+			copy(run.auxWorker, man.AuxPlacement)
+		}
+		e.m.Add(metrics.RunsResumed, 1)
+		e.opts.Trace.Emit(trace.KindResume, "master", -1, resumeFrom,
+			trace.Attr{Key: "job", Value: job.Name})
+	}
+
 	e.m.Add(metrics.JobsLaunched, 1)
 
 	// The one job submission and the one round of persistent-task
@@ -372,23 +469,44 @@ func (e *Engine) RunCtx(ctx context.Context, job *Job) (*Result, error) {
 	// One-time initialization (§3.1): partition the static data of every
 	// phase and the initial state once, placing each part at its pair's
 	// worker so subsequent loads are local. The initial state doubles as
-	// checkpoint 0, the rollback base.
+	// checkpoint 0, the rollback base. A resumed run reuses the partition
+	// files already in the DFS; a fresh run first clears the job's
+	// checkpoint namespace so a stale manifest from an earlier run under
+	// the same name can never satisfy a later Resume.
+	staticPartsExist := func(phase, count int) bool {
+		for i := 0; i < count; i++ {
+			if !e.fs.Exists(run.staticPartPath(phase, i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if !resume {
+		e.gcCheckpoints(run, math.MaxInt)
+	}
 	for pi, p := range phases {
-		if p.StaticPath == "" {
+		if p.StaticPath == "" || (resume && staticPartsExist(pi, n)) {
 			continue
 		}
 		if err := e.partitionToDFS(p.StaticPath, p.Ops, n, run, func(i int) string { return run.staticPartPath(pi, i) }, false); err != nil {
 			return nil, fmt.Errorf("core: job %s: static init: %w", job.Name, err)
 		}
 	}
-	if aux != nil && aux.StaticPath != "" {
+	if aux != nil && aux.StaticPath != "" && !(resume && staticPartsExist(len(phases), auxN)) {
 		auxPhase := len(phases)
 		if err := e.partitionToDFS(aux.StaticPath, aux.Ops, auxN, run, func(i int) string { return run.staticPartPath(auxPhase, i) }, true); err != nil {
 			return nil, fmt.Errorf("core: job %s: aux static init: %w", job.Name, err)
 		}
 	}
-	if err := e.partitionToDFS(job.StatePath, last.Ops, n, run, func(i int) string { return run.ckptPath(0, i) }, false); err != nil {
-		return nil, fmt.Errorf("core: job %s: state init: %w", job.Name, err)
+	if !resume {
+		if err := e.partitionToDFS(job.StatePath, last.Ops, n, run, func(i int) string { return run.ckptPath(0, i) }, false); err != nil {
+			return nil, fmt.Errorf("core: job %s: state init: %w", job.Name, err)
+		}
+		// Checkpoint 0 is durable from the start: a run killed before its
+		// first periodic checkpoint resumes from the initial state.
+		if err := e.commitManifest(run, confFingerprint(job), 0, len(phases)); err != nil {
+			return nil, fmt.Errorf("core: job %s: %w", job.Name, err)
+		}
 	}
 
 	// Build and start the persistent tasks.
@@ -396,6 +514,7 @@ func (e *Engine) RunCtx(ctx context.Context, job *Job) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var runErr error
 	defer func() {
 		for _, addr := range tasks.all {
 			if ep, err := e.net.Endpoint(addr); err == nil {
@@ -406,6 +525,22 @@ func (e *Engine) RunCtx(ctx context.Context, job *Job) (*Result, error) {
 		e.mu.Lock()
 		e.activeMaster = nil
 		e.mu.Unlock()
+		// Join every task goroutine — including their in-flight
+		// checkpoint writers — so no run-owned goroutine touches the DFS
+		// or the network after a completed Run returns. A failed run may
+		// hold a task wedged inside a user function (that is how silence
+		// timeouts arise), so the error path waits only a short grace
+		// before abandoning the stragglers, as the engine always has.
+		joined := make(chan struct{})
+		go func() { tasks.wg.Wait(); close(joined) }()
+		if runErr == nil {
+			<-joined
+			return
+		}
+		select {
+		case <-joined:
+		case <-time.After(500 * time.Millisecond):
+		}
 	}()
 	e.mu.Lock()
 	e.activeMaster = master
@@ -438,7 +573,8 @@ func (e *Engine) RunCtx(ctx context.Context, job *Job) (*Result, error) {
 	// The one-time init (§3.1) is charged to iteration 1, the way the
 	// paper's first-iteration curves embed it.
 	e.opts.Trace.RecordSpan(trace.SpanRunInit, "master", -1, 1, start, initTime)
-	res, err := e.masterLoop(ctx, job, phases, aux, run, n, auxN, master, tasks, start)
+	res, err := e.masterLoop(ctx, job, phases, aux, run, n, auxN, master, tasks, start, resumeFrom)
+	runErr = err
 	e.opts.Trace.Emit(trace.KindRunFinish, "master", -1, 0, trace.Attr{Key: "job", Value: job.Name})
 	if err != nil {
 		return nil, err
@@ -488,6 +624,9 @@ func (e *Engine) partitionToDFS(path string, ops kv.Ops, parts int, run *runStat
 // taskSet records every spawned endpoint for command fan-out and
 // cleanup.
 type taskSet struct {
+	// wg joins every task goroutine (and, transitively, the checkpoint
+	// writers each reduce task joins before exiting) at run teardown.
+	wg  sync.WaitGroup
 	all []string // every task endpoint address
 	// phase0Maps are the self-loading maps that receive the go command.
 	phase0Maps []string
@@ -623,8 +762,9 @@ func (e *Engine) spawnTasks(job *Job, phases []*Job, aux *Job, run *runState, n,
 			e.m.Add(metrics.TasksLaunched, 2)
 			e.opts.Trace.Emit(trace.KindTaskLaunch, run.pairWorker[i], i, 0,
 				trace.Attr{Key: "phase", Value: fmt.Sprint(pi)})
-			go mt.loop()
-			go rt.loop()
+			ts.wg.Add(2)
+			go func() { defer ts.wg.Done(); mt.loop() }()
+			go func() { defer ts.wg.Done(); rt.loop() }()
 		}
 	}
 
@@ -683,8 +823,9 @@ func (e *Engine) spawnTasks(job *Job, phases []*Job, aux *Job, run *runState, n,
 			e.m.Add(metrics.TasksLaunched, 2)
 			e.opts.Trace.Emit(trace.KindTaskLaunch, run.auxWorker[i], n+i, 0,
 				trace.Attr{Key: "phase", Value: "aux"})
-			go mt.loop()
-			go rt.loop()
+			ts.wg.Add(2)
+			go func() { defer ts.wg.Done(); mt.loop() }()
+			go func() { defer ts.wg.Done(); rt.loop() }()
 		}
 	}
 	return master, ts, nil

@@ -109,7 +109,7 @@ func (t *mapTask) loop() {
 				t.handleState(pl)
 			case cmdMsg:
 				switch pl.Kind {
-				case cmdTerminate:
+				case cmdTerminate, cmdAbort:
 					return
 				case cmdReassign:
 					t.worker = pl.Worker

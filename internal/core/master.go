@@ -17,10 +17,11 @@ import (
 // migrates task pairs off slow workers, and recovers from worker
 // failures by rolling the cluster back to the last durable checkpoint.
 func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *Job, run *runState,
-	n, auxN int, master transport.Endpoint, ts *taskSet, start time.Time) (*Result, error) {
+	n, auxN int, master transport.Endpoint, ts *taskSet, start time.Time, resumeFrom int) (*Result, error) {
 
 	last := phases[len(phases)-1]
 	totalTasks := len(ts.all)
+	fp := confFingerprint(job)
 
 	sendCmd := func(addrs []string, c cmdMsg) {
 		for _, a := range addrs {
@@ -34,7 +35,7 @@ func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *J
 	rbToIter := 0
 	acks := 0
 	ackSeen := make(map[string]bool) // dedup of rollback acks by endpoint address
-	ckptLast := 0                    // latest checkpoint durable on all parts
+	ckptLast := resumeFrom           // latest manifest-durable checkpoint
 	reports := make(map[int]map[int]reportMsg)
 	reportDone := make(map[int]bool) // iterations whose barrier already fired
 	auxBuf := make(map[int]map[int][]kv.Pair)
@@ -94,6 +95,14 @@ func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *J
 	terminate := func() {
 		terminated = true
 		sendCmd(ts.all, cmdMsg{Kind: cmdTerminate})
+	}
+
+	// abort is the crash/cancel shutdown: tasks exit without writing
+	// final output, leaving the DFS exactly as the last durable
+	// checkpoint left it — the state a Resume restarts from.
+	abort := func() {
+		terminated = true
+		sendCmd(ts.all, cmdMsg{Kind: cmdAbort})
 	}
 
 	// leastLoaded picks the live worker hosting the fewest main pairs.
@@ -166,9 +175,11 @@ func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *J
 		return out
 	}
 
-	// Kick the computation off: reset everyone to checkpoint 0, then
-	// (on full acknowledgement) tell the first phase's maps to load it.
-	rollbackAll(0)
+	// Kick the computation off: reset everyone to the starting
+	// checkpoint — iteration 0 on a fresh run, the resumed manifest's
+	// iteration on a cold restart — then (on full acknowledgement) tell
+	// the first phase's maps to load it.
+	rollbackAll(resumeFrom)
 
 	// Heartbeat bookkeeping: every task beats with its bound worker's
 	// name; a hosting worker silent for HeartbeatMisses intervals is
@@ -202,7 +213,7 @@ func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *J
 			deadline = time.Now().Add(e.opts.Timeout)
 			msg = m
 		case <-ctx.Done():
-			terminate()
+			abort()
 			return nil, fmt.Errorf("core: job %s: run canceled: %w", job.Name, context.Cause(ctx))
 		case <-beatCheck:
 			limit := time.Duration(e.opts.HeartbeatMisses) * e.opts.HeartbeatInterval
@@ -273,7 +284,16 @@ func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *J
 			}
 			ckptAcks[pl.Iter][pl.Task] = true
 			if len(ckptAcks[pl.Iter]) == n && pl.Iter > ckptLast {
-				ckptLast = pl.Iter
+				// Every partition file is committed; the manifest commit
+				// makes the checkpoint durable — only then does it become
+				// the rollback target, and only then are its predecessors
+				// garbage-collected. A failed commit (DFS trouble) leaves
+				// the previous checkpoint in force; the run continues and
+				// the next boundary tries again.
+				if err := e.commitManifest(run, fp, pl.Iter, len(phases)); err == nil {
+					ckptLast = pl.Iter
+					e.gcCheckpoints(run, ckptLast)
+				}
 			}
 
 		case auxOutMsg:

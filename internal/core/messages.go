@@ -105,6 +105,11 @@ const (
 	cmdRollback  = "rollback"
 	cmdTerminate = "terminate"
 	cmdReassign  = "reassign"
+	// cmdAbort tears a task down *without* writing final output — the
+	// shutdown path for canceled and killed runs. A killed run's output
+	// directory must stay untouched so a later Resume restarts from the
+	// durable checkpoints, not from a half-written final state.
+	cmdAbort = "abort"
 	// cmdGo is the second half of the rollback protocol: once every
 	// task has acknowledged the reset (so no old-generation traffic can
 	// be mistaken for new), the master tells the first phase's maps to

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"imapreduce/internal/kv"
+	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
+)
+
+// restartEngine builds a second engine over the same DFS, metrics, and
+// spec — the cold-restart scenario: the process died, the DFS survived.
+func restartEngine(t *testing.T, v *env, opts Options) *Engine {
+	t.Helper()
+	if opts.Timeout == 0 {
+		opts.Timeout = 20 * time.Second
+	}
+	e, err := NewEngine(v.fs, transport.NewChanNetwork(), v.spec, v.m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// killAfterManifest kills the run as soon as a manifest for iter (or
+// later) is durable, so Resume is guaranteed a checkpoint to restart
+// from. Returns a channel closed once the kill landed (or gave up).
+func killAfterManifest(v *env, jobName string, iter int) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case <-deadline:
+				return
+			default:
+			}
+			committed := false
+			for _, p := range v.fs.List(fmt.Sprintf("/_imr/%s/", jobName)) {
+				if it, ok := manifestIter(jobName, p); ok && it >= iter {
+					committed = true
+					break
+				}
+			}
+			if committed {
+				if v.e.Kill() == nil {
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	return done
+}
+
+// TestKillAndResumeBitIdentical is the headline recovery contract: the
+// whole engine (master and every worker task) dies mid-run after a
+// durable checkpoint, a fresh engine over the surviving DFS resumes,
+// and the final output is bit-identical to an uninterrupted run.
+func TestKillAndResumeBitIdentical(t *testing.T) {
+	const (
+		maxIter = 16
+		ckpt    = 2
+		keys    = 24
+	)
+
+	// Reference: same job on an untouched cluster.
+	ref := newEnv(t, 3, Options{})
+	ref.writeState(t, "/state", keys)
+	refRes, err := ref.e.Run(slowHalvingJob("halve-kill", maxIter, ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.readOutput(t, refRes.OutputPath)
+	if len(want) != keys {
+		t.Fatalf("reference output has %d keys", len(want))
+	}
+
+	// Chaos cluster: kill once checkpoint 6 is durable.
+	v := newEnv(t, 3, Options{})
+	v.writeState(t, "/state", keys)
+	killed := killAfterManifest(v, "halve-kill", 6)
+	_, err = v.e.Run(slowHalvingJob("halve-kill", maxIter, ckpt))
+	<-killed
+	if !errors.Is(err, ErrKilled) {
+		t.Fatalf("killed run error = %v, want ErrKilled", err)
+	}
+	if parts := v.fs.List(refRes.OutputPath + "/"); len(parts) != 0 {
+		t.Fatalf("killed run wrote final output: %v", parts)
+	}
+
+	// Cold restart: fresh engine, same DFS, same job definition.
+	e2 := restartEngine(t, v, Options{})
+	res, err := e2.Resume(slowHalvingJob("halve-kill", maxIter, ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != maxIter {
+		t.Fatalf("resumed iterations = %d, want %d", res.Iterations, maxIter)
+	}
+	if len(res.PerIter) == 0 || res.PerIter[0].Iter < 7 {
+		t.Fatalf("resume replayed from iteration %d, want >= 7 (checkpoint 6 was durable)", res.PerIter[0].Iter)
+	}
+	if got := v.m.Get(metrics.RunsResumed); got != 1 {
+		t.Fatalf("runs.resumed = %d, want 1", got)
+	}
+	out := v.readOutput(t, res.OutputPath)
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("resumed output differs from uninterrupted run:\n got %v\nwant %v", out, want)
+	}
+}
+
+// TestResumeVerifiesManifest covers the refusal paths: no durable
+// manifest at all, and a manifest written by a different job
+// definition (configuration fingerprint mismatch).
+func TestResumeVerifiesManifest(t *testing.T) {
+	v := newEnv(t, 3, Options{})
+	v.writeState(t, "/state", 12)
+
+	// Nothing checkpointed yet: resume must refuse, not run from scratch.
+	if _, err := v.e.Resume(halvingJob("halve-fp", 6, 0)); err == nil {
+		t.Fatal("Resume with no manifest succeeded")
+	}
+
+	job := halvingJob("halve-fp", 6, 0)
+	job.CheckpointEvery = 2
+	if _, err := v.e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+
+	// The completed run's last manifest is still durable; resuming with
+	// a structurally different job must be rejected outright.
+	alt := halvingJob("halve-fp", 9, 0)
+	alt.CheckpointEvery = 2
+	e2 := restartEngine(t, v, Options{})
+	_, err := e2.Resume(alt)
+	if err == nil || !strings.Contains(err.Error(), "different job definition") {
+		t.Fatalf("mismatched resume error = %v, want fingerprint rejection", err)
+	}
+}
+
+// TestStaleGenCheckpointNotCommitted forces the interleaving where a
+// checkpoint write is still in flight when a worker failure rolls the
+// job back: the write must be abandoned (no file commit, no ckptMsg
+// under the new generation), never reported as the new generation's
+// progress.
+func TestStaleGenCheckpointNotCommitted(t *testing.T) {
+	v := newEnv(t, 3, Options{})
+	v.writeState(t, "/state", 24)
+	const maxIter = 12
+	job := slowHalvingJob("halve-stale", maxIter, 1)
+
+	// The hook freezes part-0's first iteration-1 checkpoint write. It
+	// is released only when the *re-issued* write for the same part
+	// arrives — which can only happen after the rollback landed on the
+	// task and iteration 1 re-ran, so the stale writer is guaranteed to
+	// observe the new generation.
+	var once sync.Once
+	release := make(chan struct{})
+	frozen := make(chan struct{})
+	var seen atomic.Bool
+	v.fs.SetWriteHook(func(path string) error {
+		if !strings.Contains(path, "/ckpt-000001/part-0.tmp-g") {
+			return nil
+		}
+		if seen.CompareAndSwap(false, true) {
+			close(frozen)
+			<-release
+			return nil
+		}
+		once.Do(func() { close(release) })
+		return nil
+	})
+
+	failed := make(chan struct{})
+	go func() {
+		defer close(failed)
+		<-frozen
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case <-deadline:
+				return
+			default:
+			}
+			if err := v.e.FailWorker("worker-1"); err == nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Watchdog: if the failure never lands (run raced to completion),
+	// unfreeze the writer so teardown's checkpoint join can't deadlock;
+	// the stale-count assertion below then reports the real problem.
+	go func() {
+		<-failed
+		time.Sleep(10 * time.Second)
+		once.Do(func() { close(release) })
+	}()
+
+	res, err := v.e.Run(job)
+	<-failed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.m.Get(metrics.CheckpointsStale); got < 1 {
+		t.Fatalf("checkpoints.stale = %d, want >= 1 (stale writer was not abandoned)", got)
+	}
+	out := v.readOutput(t, res.OutputPath)
+	wantVal := math.Pow(2, -maxIter)
+	for k, val := range out {
+		if val.(float64) != wantVal {
+			t.Fatalf("key %d = %v, want %v", k, val, wantVal)
+		}
+	}
+	if len(out) != 24 {
+		t.Fatalf("output keys = %d, want 24", len(out))
+	}
+}
+
+// TestCheckpointWriteFailureRetries injects transient DFS write
+// failures into checkpoint commits: the task must retry with
+// re-placement rather than abort the whole run.
+func TestCheckpointWriteFailureRetries(t *testing.T) {
+	v := newEnv(t, 3, Options{})
+	v.writeState(t, "/state", 24)
+	const maxIter = 6
+
+	var fails atomic.Int32
+	v.fs.SetWriteHook(func(path string) error {
+		if strings.Contains(path, ".tmp-g") && fails.Add(1) <= 2 {
+			return errors.New("injected transient write failure")
+		}
+		return nil
+	})
+
+	res, err := v.e.Run(slowHalvingJob("halve-retry", maxIter, 2))
+	if err != nil {
+		t.Fatalf("transient checkpoint failure aborted the run: %v", err)
+	}
+	if got := v.m.Get(metrics.CheckpointRetries); got < 2 {
+		t.Fatalf("checkpoints.retries = %d, want >= 2", got)
+	}
+	if got := v.m.Get(metrics.Checkpoints); got < 1 {
+		t.Fatalf("checkpoints.written = %d, want >= 1", got)
+	}
+	out := v.readOutput(t, res.OutputPath)
+	wantVal := math.Pow(2, -maxIter)
+	for k, val := range out {
+		if val.(float64) != wantVal {
+			t.Fatalf("key %d = %v, want %v", k, val, wantVal)
+		}
+	}
+}
+
+// TestCheckpointGC: superseded checkpoints and manifests are deleted as
+// newer ones become durable; only the newest generation (and at most
+// the final racing one) survive the run.
+func TestCheckpointGC(t *testing.T) {
+	v := newEnv(t, 3, Options{})
+	v.writeState(t, "/state", 12)
+	job := halvingJob("halve-gc", 8, 0)
+	job.CheckpointEvery = 2
+	if _, err := v.e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := v.m.Get(metrics.CheckpointsGCed); got < 1 {
+		t.Fatalf("checkpoints.gced = %d, want >= 1", got)
+	}
+	iters := map[int]bool{}
+	for _, p := range v.fs.List("/_imr/halve-gc/ckpt-") {
+		var it, part int
+		if _, err := fmt.Sscanf(p, "/_imr/halve-gc/ckpt-%06d/part-%d", &it, &part); err != nil {
+			t.Fatalf("unparseable checkpoint path %q", p)
+		}
+		iters[it] = true
+	}
+	for _, p := range v.fs.List("/_imr/halve-gc/" + manifestPrefix) {
+		if it, ok := manifestIter("halve-gc", p); ok {
+			iters[it] = true
+		}
+	}
+	if len(iters) == 0 || len(iters) > 2 {
+		t.Fatalf("surviving checkpoint iterations = %v, want 1 or 2 newest", iters)
+	}
+	for it := range iters {
+		if it < 6 {
+			t.Fatalf("superseded checkpoint iteration %d not collected (survivors %v)", it, iters)
+		}
+	}
+}
+
+// TestFailNodeDuringCheckpointWrite: a DFS datanode dies while a
+// checkpoint write to it is in flight. The write must land on the
+// surviving nodes and the run must complete; re-replication heals the
+// lost replicas concurrently.
+func TestFailNodeDuringCheckpointWrite(t *testing.T) {
+	v := newEnv(t, 3, Options{})
+	v.writeState(t, "/state", 24)
+	const maxIter = 8
+
+	var seen atomic.Bool
+	frozen := make(chan struct{})
+	release := make(chan struct{})
+	v.fs.SetWriteHook(func(path string) error {
+		if strings.Contains(path, ".tmp-g") && seen.CompareAndSwap(false, true) {
+			close(frozen)
+			<-release
+		}
+		return nil
+	})
+	go func() {
+		<-frozen
+		v.fs.FailNode("worker-0")
+		time.Sleep(5 * time.Millisecond)
+		close(release)
+	}()
+
+	res, err := v.e.Run(slowHalvingJob("halve-dfsfail", maxIter, 2))
+	if err != nil {
+		t.Fatalf("datanode loss during checkpoint write aborted the run: %v", err)
+	}
+	if got := v.m.Get(metrics.Checkpoints); got < 1 {
+		t.Fatalf("checkpoints.written = %d, want >= 1", got)
+	}
+	out := v.readOutput(t, res.OutputPath)
+	wantVal := math.Pow(2, -maxIter)
+	for k, val := range out {
+		if val.(float64) != wantVal {
+			t.Fatalf("key %d = %v, want %v", k, val, wantVal)
+		}
+	}
+}
+
+// TestFreshRunClearsStaleCheckpoints: a non-resume run under a name
+// that has old checkpoints must wipe them, so a later Resume can never
+// restart from a previous job's state.
+func TestFreshRunClearsStaleCheckpoints(t *testing.T) {
+	v := newEnv(t, 3, Options{})
+	v.writeState(t, "/state", 12)
+
+	// Plant a fake durable-looking manifest from a "previous" run.
+	if err := v.fs.WriteFile(manifestPath("halve-fresh", 99), v.spec.IDs()[0],
+		[]kv.Pair{{Key: "manifest", Value: "{}"}}, manifestOps); err != nil {
+		t.Fatal(err)
+	}
+	job := halvingJob("halve-fresh", 4, 0)
+	if _, err := v.e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if v.fs.Exists(manifestPath("halve-fresh", 99)) {
+		t.Fatal("stale manifest from a previous run survived a fresh start")
+	}
+}
+
+// TestChanEndpointReuseAfterRestart: a second engine over the same
+// transport addresses must be able to re-open them — endpoint names
+// are freed on close (regression guard for the restart path when the
+// network, unlike the process, survives).
+func TestChanEndpointReuseAfterRestart(t *testing.T) {
+	net := transport.NewChanNetwork()
+	ep, err := net.Endpoint("worker-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := net.Endpoint("worker-0")
+	if err != nil {
+		t.Fatalf("re-open after close failed: %v", err)
+	}
+	ep2.Close()
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"imapreduce/internal/kv"
@@ -33,6 +35,13 @@ type reduceTask struct {
 	worker string
 	gen    int
 	iter   int
+	// genAtomic mirrors gen for the checkpoint writer goroutines: a
+	// writer that finds the generation moved on while it wrote must not
+	// commit its file or its ack under the new generation.
+	genAtomic atomic.Int64
+	// ckptWG joins the checkpoint writers at loop exit, so no checkpoint
+	// goroutine outlives the run.
+	ckptWG sync.WaitGroup
 
 	ep      transport.Endpoint
 	numMaps int
@@ -106,6 +115,10 @@ func (t *reduceTask) loop() {
 		defer tick.Stop()
 		beat = tick.C
 	}
+	// However the loop exits, in-flight checkpoint writers are joined
+	// first: a checkpoint goroutine must never touch the DFS after the
+	// run has returned.
+	defer t.ckptWG.Wait()
 	for {
 		select {
 		case msg, ok := <-t.ep.Recv():
@@ -120,6 +133,8 @@ func (t *reduceTask) loop() {
 				switch pl.Kind {
 				case cmdTerminate:
 					t.writeFinal()
+					return
+				case cmdAbort:
 					return
 				case cmdReassign:
 					t.worker = pl.Worker
@@ -157,6 +172,7 @@ func (t *reduceTask) rollback(cmd cmdMsg) {
 		return // duplicated or reordered rollback: already adopted
 	}
 	t.gen = cmd.Gen
+	t.genAtomic.Store(int64(cmd.Gen))
 	t.iter = cmd.ToIter + 1
 	t.pend = make(map[int]*redAccum)
 	t.outBuf = nil
@@ -366,7 +382,10 @@ func (t *reduceTask) deliverChunk(addrs []string, phase, srcIter, tagIter int, p
 
 // checkpoint dumps this partition's state to DFS in parallel with the
 // iterative computation (§3.4.1) and tells the master when it is
-// durable.
+// durable. The write goes temp-then-rename so readers only ever see a
+// complete file; a failed write is retried with backoff and node
+// re-placement, and an abandoned checkpoint degrades the rollback
+// target instead of killing the run.
 func (t *reduceTask) checkpoint(iter int, out []kv.Pair) {
 	snapshot := make([]kv.Pair, len(out))
 	copy(snapshot, out)
@@ -374,9 +393,45 @@ func (t *reduceTask) checkpoint(iter int, out []kv.Pair) {
 	gen := t.gen
 	worker := t.worker // capture: the loop may reassign while we write
 	tid := t.tid()
+	t.ckptWG.Add(1)
 	go func() {
-		if err := t.e.fs.WriteFile(path, worker, snapshot, t.job.Ops); err != nil {
-			t.fatal(fmt.Errorf("reduce %d/%d: checkpoint %d: %w", t.phase, t.idx, iter, err))
+		defer t.ckptWG.Done()
+		// The temp name carries the generation so writers racing across a
+		// rollback never collide on the same uncommitted file.
+		tmp := fmt.Sprintf("%s.tmp-g%d", path, gen)
+		at := worker
+		backoff := t.e.opts.CheckpointRetryBackoff
+		var err error
+		for attempt := 0; attempt <= t.e.opts.CheckpointRetries; attempt++ {
+			if attempt > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+				// Re-place: drop the node pin so the namenode picks any
+				// live datanode — the pinned worker may be the failure.
+				at = ""
+				t.e.m.Add(metrics.CheckpointRetries, 1)
+			}
+			if err = t.e.fs.WriteFile(tmp, at, snapshot, t.job.Ops); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			// Abandoned: the run continues, rollbacks keep targeting the
+			// last durable manifest.
+			t.e.m.Add(metrics.CheckpointsLost, 1)
+			return
+		}
+		if t.genAtomic.Load() != int64(gen) {
+			// A rollback or migration landed while we wrote: the new
+			// generation owns this iteration now. Committing the file or
+			// the ack under the old generation could hand the master a
+			// checkpoint the new generation is still recomputing.
+			t.e.fs.Delete(tmp)
+			t.e.m.Add(metrics.CheckpointsStale, 1)
+			return
+		}
+		if err := t.e.fs.Rename(tmp, path); err != nil {
+			t.e.m.Add(metrics.CheckpointsLost, 1)
 			return
 		}
 		t.e.m.Add(metrics.Checkpoints, 1)

@@ -112,6 +112,21 @@ type DFS struct {
 	nextPos int   // round-robin start for replica placement
 	seq     int64 // spill file counter
 	m       *metrics.Set
+	// writeHook, when set, runs at the start of every file commit
+	// (Writer.Close) with the path being committed; a non-nil return
+	// fails the commit. Fault injection for robustness tests: a
+	// transient datanode write error looks exactly like this.
+	writeHook func(path string) error
+}
+
+// SetWriteHook installs (or, with nil, removes) a commit-time fault
+// hook: it runs at the start of every Writer.Close with the committing
+// path, and a returned error fails that commit. The hook may also block
+// to widen the race window between a write and a concurrent FailNode.
+func (fs *DFS) SetWriteHook(h func(path string) error) {
+	fs.mu.Lock()
+	fs.writeHook = h
+	fs.mu.Unlock()
 }
 
 // New creates a DFS over the given datanodes. m may be nil.
@@ -177,6 +192,16 @@ func (w *Writer) Close() error {
 	w.closed = true
 	if len(w.cur.recs) > 0 || len(w.blocks) == 0 {
 		w.blocks = append(w.blocks, w.cur)
+	}
+	w.fs.mu.Lock()
+	hook := w.fs.writeHook
+	w.fs.mu.Unlock()
+	if hook != nil {
+		// Run outside the namenode lock: the hook may block (to widen a
+		// race window) or call back into the DFS (FailNode).
+		if err := hook(w.path); err != nil {
+			return fmt.Errorf("dfs: create %s: %w", w.path, err)
+		}
 	}
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
@@ -458,4 +483,60 @@ func (fs *DFS) RestoreNode(id string) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.alive[id] = true
+}
+
+// Rename atomically moves oldPath to newPath under the namenode lock —
+// the commit step of a write-temp-then-rename protocol: readers of
+// newPath observe either the complete old file or the complete new one,
+// never a partial write. A file already at newPath is replaced and its
+// spilled blocks released.
+func (fs *DFS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[oldPath]
+	if !ok {
+		return fmt.Errorf("dfs: rename: no such file %q", oldPath)
+	}
+	if old, ok := fs.files[newPath]; ok && old != f {
+		for _, b := range old.blocks {
+			if b.diskPath != "" {
+				os.Remove(b.diskPath)
+			}
+		}
+	}
+	fs.files[newPath] = f
+	delete(fs.files, oldPath)
+	return nil
+}
+
+// Checksum returns a CRC-32 over path's content: each block contributes
+// the CRC of its gob encoding (the stored spill checksum when the block
+// is on disk, a freshly computed one for memory-resident blocks — the
+// two are identical for the same records), and the file checksum chains
+// the per-block CRCs in block order. Replica placement does not affect
+// the result, so a checksum recorded in a manifest stays valid across
+// datanode failures and re-replication.
+func (fs *DFS) Checksum(path string) (uint32, error) {
+	fs.mu.Lock()
+	f, ok := fs.files[path]
+	if !ok {
+		fs.mu.Unlock()
+		return 0, fmt.Errorf("dfs: checksum: no such file %q", path)
+	}
+	blocks := append([]*block(nil), f.blocks...)
+	fs.mu.Unlock()
+
+	var acc []byte
+	for _, b := range blocks {
+		sum := b.checksum
+		if b.diskPath == "" {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(b.recs); err != nil {
+				return 0, fmt.Errorf("dfs: checksum %s: %w", path, err)
+			}
+			sum = crc32.ChecksumIEEE(buf.Bytes())
+		}
+		acc = append(acc, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
+	}
+	return crc32.ChecksumIEEE(acc), nil
 }

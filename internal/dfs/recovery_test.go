@@ -1,0 +1,193 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRenameAtomicCommit(t *testing.T) {
+	fs := New(Config{BlockSize: 1 << 20, Replication: 2}, nodes(3), nil)
+	in := recs(50)
+	if err := fs.WriteFile("/f.tmp", "a", in, testOps()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/f.tmp", "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/f.tmp") || !fs.Exists("/f") {
+		t.Fatalf("rename left tmp=%v final=%v", fs.Exists("/f.tmp"), fs.Exists("/f"))
+	}
+	out, err := fs.ReadFile("/f", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) || out[0] != in[0] || out[49] != in[49] {
+		t.Fatalf("renamed file content mismatch: %d records", len(out))
+	}
+
+	// Renaming over an existing target replaces it whole.
+	if err := fs.WriteFile("/g.tmp", "a", recs(10), testOps()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/g.tmp", "/f"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = fs.ReadFile("/f", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 {
+		t.Fatalf("replaced file has %d records, want 10", len(out))
+	}
+
+	if err := fs.Rename("/missing", "/x"); err == nil {
+		t.Fatal("rename of missing file succeeded")
+	}
+}
+
+func TestChecksumStableAcrossReReplication(t *testing.T) {
+	fs := New(Config{BlockSize: 256, Replication: 2}, nodes(3), nil)
+	if err := fs.WriteFile("/f", "a", recs(100), testOps()); err != nil {
+		t.Fatal(err)
+	}
+	crc1, err := fs.Checksum("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.FailNode("a")
+	crc2, err := fs.Checksum("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crc1 != crc2 {
+		t.Fatalf("checksum changed across re-replication: %08x vs %08x", crc1, crc2)
+	}
+	if err := fs.WriteFile("/f", "b", recs(99), testOps()); err != nil {
+		t.Fatal(err)
+	}
+	crc3, err := fs.Checksum("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crc3 == crc1 {
+		t.Fatal("checksum did not change for different content")
+	}
+}
+
+// TestReReplicationRacesReadersAndWriters hammers node failure and
+// recovery while concurrent readers (ReadFile and split-by-split) and
+// writers — including writers pinned at the node being failed — keep
+// working. With replication 2 and one node down at a time, every
+// operation must succeed. Run under -race.
+func TestReReplicationRacesReadersAndWriters(t *testing.T) {
+	ids := nodes(4)
+	fs := New(Config{BlockSize: 128, Replication: 2}, ids, nil)
+	const files = 6
+	for i := 0; i < files; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/base-%d", i), ids[i%len(ids)], recs(40), testOps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := fmt.Sprintf("/base-%d", i%files)
+				if _, err := fs.ReadFile(path, ids[(r+i)%len(ids)]); err != nil {
+					report(fmt.Errorf("ReadFile %s: %w", path, err))
+					return
+				}
+				splits, err := fs.Splits(path)
+				if err != nil {
+					report(err)
+					return
+				}
+				for _, s := range splits {
+					if _, err := fs.ReadSplit(s, ids[(r+i)%len(ids)]); err != nil {
+						report(fmt.Errorf("ReadSplit %s: %w", path, err))
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Pin half the writes at node "a" — the one being failed.
+				at := "a"
+				if i%2 == 1 {
+					at = ids[(w+i)%len(ids)]
+				}
+				path := fmt.Sprintf("/scratch-%d-%d", w, i%4)
+				if err := fs.WriteFile(path, at, recs(20), testOps()); err != nil {
+					report(fmt.Errorf("WriteFile %s at %s: %w", path, at, err))
+					return
+				}
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		fs.FailNode("a")
+		time.Sleep(2 * time.Millisecond)
+		fs.RestoreNode("a")
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestWriteHookFailureAbortsCommit(t *testing.T) {
+	fs := New(Config{BlockSize: 1 << 20, Replication: 2}, nodes(3), nil)
+	injected := errors.New("injected")
+	fs.SetWriteHook(func(path string) error {
+		if path == "/guarded" {
+			return injected
+		}
+		return nil
+	})
+	err := fs.WriteFile("/guarded", "a", recs(5), testOps())
+	if !errors.Is(err, injected) {
+		t.Fatalf("WriteFile error = %v, want injected failure", err)
+	}
+	if fs.Exists("/guarded") {
+		t.Fatal("failed write left a committed file")
+	}
+	if err := fs.WriteFile("/free", "a", recs(5), testOps()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// -soak.iters scales soak length: `make soak` raises it for longer
+// schedules, the default keeps `go test ./...` quick.
+var soakIters = flag.Int("soak.iters", 12, "iterations per soak run")
+
+func soakCfg(seed int64, algo string) SoakConfig {
+	return SoakConfig{Seed: seed, Algo: algo, Iters: *soakIters}
+}
+
+func TestSoakScheduleDeterministic(t *testing.T) {
+	cfg := soakCfg(7, "sssp")
+	a := SoakSchedule(cfg)
+	b := SoakSchedule(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range a {
+		kinds[ev.Kind] = true
+	}
+	for _, k := range []string{SoakCrash, SoakStall, SoakPartition, SoakDFSFail, SoakEngineKill} {
+		if !kinds[k] {
+			t.Fatalf("schedule %v never injects %q", a, k)
+		}
+	}
+	if !reflect.DeepEqual(a, SoakSchedule(SoakConfig{Seed: 7, Algo: "sssp", Iters: *soakIters})) {
+		t.Fatal("schedule depends on more than the config")
+	}
+}
+
+func runSoak(t *testing.T, cfg SoakConfig) {
+	t.Helper()
+	rep, err := Soak(cfg)
+	if err != nil {
+		t.Fatalf("soak failed: %v\nreproduce with: go test ./internal/experiments -run TestSoak -soak.iters=%d (seed %d, algo %s)\nschedule: %v",
+			err, cfg.Iters, cfg.Seed, cfg.Algo, rep.Schedule)
+	}
+	t.Logf("seed %d %s: %d iters, %d restarts, %d recoveries, drops=%d dups=%d reorders=%d over %d keys",
+		rep.Seed, rep.Algo, rep.Iterations, rep.Restarts, rep.Recoveries, rep.Drops, rep.Dups, rep.Reorders, rep.Keys)
+	if rep.Iterations != cfg.withDefaults().Iters {
+		t.Fatalf("soak ran %d iterations, want %d", rep.Iterations, cfg.withDefaults().Iters)
+	}
+}
+
+// TestSoakSSSP replays the full fault schedule — crash, stall,
+// partition, datanode loss, engine kill — for three distinct seeds and
+// asserts bit-identical output against the fault-free run each time.
+func TestSoakSSSP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode (run `make soak`)")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSoak(t, soakCfg(seed, "sssp"))
+		})
+	}
+}
+
+// TestSoakPageRank covers the order-sensitive floating-point reduce
+// (made order-independent by the soak job's sorted sum).
+func TestSoakPageRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode (run `make soak`)")
+	}
+	runSoak(t, soakCfg(4, "pagerank"))
+}

@@ -162,11 +162,34 @@ func (c *Cluster) RunIterative(job *core.Job) (*core.Result, error) {
 }
 
 // RunIterativeCtx is RunIterative with cancellation: when ctx is
-// canceled the master terminates every persistent task and the returned
-// error wraps context.Canceled (or ctx's cause).
+// canceled the master aborts every persistent task (no final output is
+// written) and the returned error wraps context.Canceled (or ctx's
+// cause).
 func (c *Cluster) RunIterativeCtx(ctx context.Context, job *core.Job) (*core.Result, error) {
 	return c.core.RunCtx(ctx, job)
 }
+
+// ResumeIterative cold-restarts an iterative job from its newest
+// durable checkpoint manifest in this cluster's DFS — the recovery path
+// for a run whose entire engine (master included) died. The cluster is
+// typically freshly constructed over the surviving DFS; the job must be
+// the same definition that wrote the checkpoints (the manifest's
+// configuration fingerprint is verified, as are every partition file's
+// existence, size, and CRC).
+func (c *Cluster) ResumeIterative(job *core.Job) (*core.Result, error) {
+	return c.core.Resume(job)
+}
+
+// ResumeIterativeCtx is ResumeIterative with cancellation.
+func (c *Cluster) ResumeIterativeCtx(ctx context.Context, job *core.Job) (*core.Result, error) {
+	return c.core.ResumeCtx(ctx, job)
+}
+
+// KillRun tears down the active iterative run as if the engine process
+// crashed: no final output, checkpoints and manifests left in place for
+// a later ResumeIterative. The killed run returns an error wrapping
+// core.ErrKilled.
+func (c *Cluster) KillRun() error { return c.core.Kill() }
 
 // MapReduceEngine exposes the baseline engine for advanced use.
 func (c *Cluster) MapReduceEngine() *mapreduce.Engine { return c.mr }

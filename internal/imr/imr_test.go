@@ -379,3 +379,64 @@ func TestInvalidSpecRejected(t *testing.T) {
 		t.Fatal("invalid spec accepted")
 	}
 }
+
+// TestKillRunAndResumeIterative exercises the facade's durable-recovery
+// surface: kill the active run mid-flight, then resume from the newest
+// durable checkpoint manifest and finish with the exact result.
+func TestKillRunAndResumeIterative(t *testing.T) {
+	c, err := NewCluster(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []kv.Pair
+	for i := 0; i < 12; i++ {
+		recs = append(recs, kv.Pair{Key: int64(i), Value: 1.0})
+	}
+	if err := c.Write("/state", recs, kv.OpsFor[int64, float64](nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	const maxIter = 20
+	job := halveJob("killed", maxIter)
+	job.CheckpointEvery = 2
+	go func() {
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case <-deadline:
+				return
+			default:
+			}
+			if c.KillRun() == nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	if _, err := c.RunIterative(job); !errors.Is(err, core.ErrKilled) {
+		t.Fatalf("want core.ErrKilled, got %v", err)
+	}
+
+	job2 := halveJob("killed", maxIter)
+	job2.CheckpointEvery = 2
+	res, err := c.ResumeIterative(job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != maxIter {
+		t.Fatalf("resumed iterations = %d, want %d", res.Iterations, maxIter)
+	}
+	out, err := ReadAllAs[int64, float64](c, res.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(2, -maxIter)
+	for k, v := range out {
+		if v != want {
+			t.Fatalf("key %d = %v, want %v", k, v, want)
+		}
+	}
+	if len(out) != 12 {
+		t.Fatalf("output keys = %d, want 12", len(out))
+	}
+}

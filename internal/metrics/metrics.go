@@ -16,24 +16,30 @@ import (
 // Well-known counter names shared by the engines, so the experiment
 // harness can read them uniformly.
 const (
-	ShuffleBytes     = "shuffle.bytes"       // map→reduce data volume
-	ShuffleRemote    = "shuffle.remote"      // portion crossing worker boundaries
-	StateBytes       = "state.bytes"         // reduce→map iterated state volume
-	StateRemote      = "state.remote"        // portion crossing worker boundaries
-	DFSReadBytes     = "dfs.read.bytes"      // total DFS reads
-	DFSReadRemote    = "dfs.read.remote"     // DFS reads served by a remote replica
-	DFSWriteBytes    = "dfs.write.bytes"     // DFS writes (x replication)
-	TasksLaunched    = "tasks.launched"      // map+reduce task launches
-	JobsLaunched     = "jobs.launched"       // MapReduce jobs submitted
-	TaskMigrations   = "tasks.migrations"    // iMapReduce load-balancing moves
-	Checkpoints      = "checkpoints.written" // state checkpoints dumped to DFS
-	SpeculativeTasks = "tasks.speculative"   // speculative (backup) task launches
-	TaskRetries      = "tasks.retries"       // failed task re-executions
-	SendRetries      = "send.retries"        // transport sends that needed retrying
-	SendFailures     = "send.failures"       // sends abandoned after all retries
-	HeartbeatsSent   = "heartbeats.sent"     // worker→master liveness beats
-	Iterations       = "iterations.completed" // committed iteration boundaries
-	FailuresDetected = "failures.detected"   // workers declared dead by missed heartbeats
+	ShuffleBytes      = "shuffle.bytes"        // map→reduce data volume
+	ShuffleRemote     = "shuffle.remote"       // portion crossing worker boundaries
+	StateBytes        = "state.bytes"          // reduce→map iterated state volume
+	StateRemote       = "state.remote"         // portion crossing worker boundaries
+	DFSReadBytes      = "dfs.read.bytes"       // total DFS reads
+	DFSReadRemote     = "dfs.read.remote"      // DFS reads served by a remote replica
+	DFSWriteBytes     = "dfs.write.bytes"      // DFS writes (x replication)
+	TasksLaunched     = "tasks.launched"       // map+reduce task launches
+	JobsLaunched      = "jobs.launched"        // MapReduce jobs submitted
+	TaskMigrations    = "tasks.migrations"     // iMapReduce load-balancing moves
+	Checkpoints       = "checkpoints.written"  // state checkpoints dumped to DFS
+	SpeculativeTasks  = "tasks.speculative"    // speculative (backup) task launches
+	TaskRetries       = "tasks.retries"        // failed task re-executions
+	SendRetries       = "send.retries"         // transport sends that needed retrying
+	SendFailures      = "send.failures"        // sends abandoned after all retries
+	HeartbeatsSent    = "heartbeats.sent"      // worker→master liveness beats
+	Iterations        = "iterations.completed" // committed iteration boundaries
+	FailuresDetected  = "failures.detected"    // workers declared dead by missed heartbeats
+	CheckpointsGCed   = "checkpoints.gced"     // superseded checkpoint/manifest files deleted
+	CheckpointsStale  = "checkpoints.stale"    // checkpoint writes abandoned by a generation change
+	CheckpointRetries = "checkpoints.retries"  // checkpoint DFS writes that needed retrying
+	CheckpointsLost   = "checkpoints.lost"     // checkpoint writes abandoned after all retries
+	ManifestCommits   = "manifests.committed"  // durable checkpoint manifests committed
+	RunsResumed       = "runs.resumed"         // cold restarts from a durable manifest
 )
 
 // Set is a registry of counters and timers for one engine run.

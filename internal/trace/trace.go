@@ -22,17 +22,19 @@ type Kind string
 
 // Instant event kinds.
 const (
-	KindRunStart    Kind = "run.start"     // iterative run accepted
-	KindRunFinish   Kind = "run.finish"    // iterative run returned
-	KindIterDone    Kind = "iter.done"     // master committed an iteration boundary
-	KindTaskLaunch  Kind = "task.launch"   // persistent map/reduce pair spawned
-	KindTaskFinish  Kind = "task.finish"   // task wrote its final output part
-	KindTaskMigrate Kind = "task.migrate"  // load balancer moved a pair
-	KindCheckpoint  Kind = "task.ckpt"     // durable state checkpoint written
-	KindRollback    Kind = "run.rollback"  // master rolled the run back
-	KindSendRetry   Kind = "send.retry"    // transport send needed retrying
-	KindSendFail    Kind = "send.fail"     // transport send abandoned
-	KindNetFlush    Kind = "net.flush"     // TCP coalescing buffer flushed
+	KindRunStart    Kind = "run.start"    // iterative run accepted
+	KindRunFinish   Kind = "run.finish"   // iterative run returned
+	KindIterDone    Kind = "iter.done"    // master committed an iteration boundary
+	KindTaskLaunch  Kind = "task.launch"  // persistent map/reduce pair spawned
+	KindTaskFinish  Kind = "task.finish"  // task wrote its final output part
+	KindTaskMigrate Kind = "task.migrate" // load balancer moved a pair
+	KindCheckpoint  Kind = "task.ckpt"    // durable state checkpoint written
+	KindRollback    Kind = "run.rollback" // master rolled the run back
+	KindSendRetry   Kind = "send.retry"   // transport send needed retrying
+	KindSendFail    Kind = "send.fail"    // transport send abandoned
+	KindNetFlush    Kind = "net.flush"    // TCP coalescing buffer flushed
+	KindManifest    Kind = "run.manifest" // durable checkpoint manifest committed
+	KindResume      Kind = "run.resume"   // cold restart from a durable manifest
 )
 
 // Span kinds emitted by the iterative (core) engine, one set per task

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -256,7 +257,28 @@ func (e *faultyEndpoint) Close() error {
 		// Flush any reorder-held frame so teardown itself loses nothing.
 		e.flushHeld(ln, to)
 	}
+	// Deregister so a later Endpoint(addr) builds a fresh wrapper over a
+	// fresh inner endpoint — without this, a restarted engine would get
+	// this stale wrapper whose inner endpoint is closed.
+	e.net.mu.Lock()
+	if e.net.eps[e.inner.Addr()] == e {
+		delete(e.net.eps, e.inner.Addr())
+	}
+	e.net.mu.Unlock()
 	return e.inner.Close()
+}
+
+// Addrs returns the sorted addresses of the currently open endpoints —
+// the live link targets a chaos schedule can partition.
+func (n *FaultyNetwork) Addrs() []string {
+	n.mu.Lock()
+	out := make([]string, 0, len(n.eps))
+	for a := range n.eps {
+		out = append(out, a)
+	}
+	n.mu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Close implements Network.
