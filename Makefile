@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short race-short bench bench-smoke trace-smoke soak ci clean
+.PHONY: all build vet lint test race short race-short bench bench-smoke trace-smoke soak ci clean
 
 all: ci
 
@@ -10,22 +10,33 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Full suite, including the chaos tests.
+# Project-specific static analysis (internal/lint via cmd/imrlint):
+# no sends under locks, paired trace spans, no silently dropped
+# transport/DFS errors, seeded determinism in the simulator, constant
+# metric/trace names. Exits non-zero on any finding; `-json` emits a
+# machine-readable report.
+lint:
+	$(GO) run ./cmd/imrlint ./...
+
+# Full suite, including the chaos tests. Every test target carries an
+# explicit -timeout: the leaktest watchdog (internal/leaktest) panics
+# with a goroutine dump well before these fire, so the go test deadline
+# is the backstop, not the diagnosis.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 # Full suite under the race detector (the chaos suite must stay
 # race-clean — it exercises concurrent fault injection on purpose).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 15m ./...
 
 # Quick loop: skips the chaos suite (guarded by testing.Short).
 short:
-	$(GO) test -short ./...
+	$(GO) test -short -timeout 5m ./...
 
 # Race-enabled quick loop: the short suite under the race detector.
 race-short:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -timeout 10m ./...
 
 # Data-plane benchmarks: the kv hot paths with allocation stats, the
 # engine-level shuffle/iteration benchmarks, then the JSON snapshot
@@ -49,12 +60,13 @@ trace-smoke:
 # link partition, DFS node loss, full engine kill + resume) against
 # SSSP/PageRank, asserting bit-identical output vs the fault-free run.
 # SOAK_ITERS scales the schedule length; failures print the reproducing
-# seed.
+# seed. The -timeout sits far above the soak tests' own 5-minute
+# leaktest watchdogs, which fire first with a goroutine dump.
 SOAK_ITERS ?= 12
 soak:
-	$(GO) test ./internal/experiments -run 'TestSoak' -count=1 -v -soak.iters=$(SOAK_ITERS)
+	$(GO) test ./internal/experiments -run 'TestSoak' -count=1 -v -timeout 15m -soak.iters=$(SOAK_ITERS)
 
-ci: vet build race-short bench-smoke trace-smoke soak
+ci: vet lint build race-short bench-smoke trace-smoke soak
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,93 @@
+// Command imrlint runs the project's static-analysis suite
+// (internal/lint) over the given packages and exits non-zero on any
+// finding. It is wired into `make lint` (and therefore `make ci`) so
+// the invariants the analyzers encode — no sends under locks, paired
+// trace spans, no silently dropped transport/DFS errors, seeded
+// determinism in the simulator, constant metric names — hold on every
+// change.
+//
+// Usage:
+//
+//	imrlint [-json] [-tests] [-list] [packages]
+//
+// Packages are directories, optionally suffixed with /... for a
+// recursive walk (default "./..."). Findings print as
+//
+//	file:line:col: [analyzer] message
+//
+// or, with -json, as a machine-readable array CI can diff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"imapreduce/internal/lint"
+)
+
+// jsonFinding is the -json output shape; field names are part of the CI
+// contract, keep them stable.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: imrlint [-json] [-tests] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(patterns, lint.LoadOptions{Tests: *tests})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imrlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, lint.All())
+
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "imrlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "imrlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}

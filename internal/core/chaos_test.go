@@ -36,6 +36,7 @@ func newFaultyEnv(t *testing.T, spec cluster.Spec, opts Options, fopts transport
 // dedup and generation guards. The converged state must match the
 // sequential reference exactly.
 func TestChaosRingDropsDupsReorders(t *testing.T) {
+	guard(t, 2*time.Minute)
 	if testing.Short() {
 		t.Skip("chaos suite skipped in -short mode")
 	}
@@ -73,6 +74,7 @@ func TestChaosRingDropsDupsReorders(t *testing.T) {
 // self-consistent with the iteration count: any double-applied report
 // or auxiliary decision would show up as a wrong value or a runaway.
 func TestChaosIdempotentControlPlane(t *testing.T) {
+	guard(t, 2*time.Minute)
 	if testing.Short() {
 		t.Skip("chaos suite skipped in -short mode")
 	}
@@ -130,6 +132,7 @@ func TestChaosIdempotentControlPlane(t *testing.T) {
 // TestHeartbeatHealthyRun: with detection on and nothing wrong, beats
 // flow and nobody is declared dead.
 func TestHeartbeatHealthyRun(t *testing.T) {
+	guard(t, 2*time.Minute)
 	v := newEnv(t, 3, Options{HeartbeatInterval: 5 * time.Millisecond, HeartbeatMisses: 5})
 	v.writeState(t, "/state", 24)
 	job := slowHalvingJob("halve-hb", 8, 2)
@@ -159,6 +162,7 @@ func TestHeartbeatHealthyRun(t *testing.T) {
 // notice the missed beats, declare the worker failed, and recover
 // through the checkpoint rollback — no FailWorker call anywhere.
 func TestHeartbeatDetectsStalledWorker(t *testing.T) {
+	guard(t, 2*time.Minute)
 	if testing.Short() {
 		t.Skip("chaos suite skipped in -short mode")
 	}
@@ -198,6 +202,7 @@ func TestHeartbeatDetectsStalledWorker(t *testing.T) {
 // TestTimeoutFiresOnGenuineSilence: a run whose tasks go quiet must be
 // aborted by the master's silence backstop.
 func TestTimeoutFiresOnGenuineSilence(t *testing.T) {
+	guard(t, 2*time.Minute)
 	v := newEnv(t, 2, Options{Timeout: 150 * time.Millisecond})
 	v.writeState(t, "/state", 4)
 	job := halvingJob("halve-silent", 5, 0)
@@ -221,6 +226,7 @@ func TestTimeoutFiresOnGenuineSilence(t *testing.T) {
 // gap stays short. The old reset idiom could abort such runs on a stale
 // timer expiry.
 func TestTimeoutNotSpuriousUnderSteadyProgress(t *testing.T) {
+	guard(t, 2*time.Minute)
 	v := newEnv(t, 2, Options{Timeout: 60 * time.Millisecond})
 	v.writeState(t, "/state", 16)
 	job := halvingJob("halve-steady", 120, 0)

@@ -201,10 +201,16 @@ func TestStaleGenCheckpointNotCommitted(t *testing.T) {
 	// Watchdog: if the failure never lands (run raced to completion),
 	// unfreeze the writer so teardown's checkpoint join can't deadlock;
 	// the stale-count assertion below then reports the real problem.
+	// testDone cancels the watchdog so it doesn't outlive the test.
+	testDone := make(chan struct{})
+	defer close(testDone)
 	go func() {
 		<-failed
-		time.Sleep(10 * time.Second)
-		once.Do(func() { close(release) })
+		select {
+		case <-time.After(10 * time.Second):
+			once.Do(func() { close(release) })
+		case <-testDone:
+		}
 	}()
 
 	res, err := v.e.Run(job)

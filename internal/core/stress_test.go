@@ -16,6 +16,7 @@ import (
 // TestBroadcastOnTCP runs the OneToAll path over real sockets: the
 // broadcast chunks and the gob-encoded pair lists must survive the wire.
 func TestBroadcastOnTCP(t *testing.T) {
+	guard(t, 2*time.Minute)
 	spec := cluster.Uniform(2)
 	m := metrics.NewSet()
 	fs := dfs.New(dfs.Config{BlockSize: 1 << 14, Replication: 2}, spec.IDs(), m)
@@ -72,6 +73,7 @@ func TestBroadcastOnTCP(t *testing.T) {
 
 // TestMultiPhaseOnTCP chains two phases over real sockets.
 func TestMultiPhaseOnTCP(t *testing.T) {
+	guard(t, 2*time.Minute)
 	spec := cluster.Uniform(2)
 	m := metrics.NewSet()
 	fs := dfs.New(dfs.Config{BlockSize: 1 << 14, Replication: 2}, spec.IDs(), m)
@@ -117,6 +119,7 @@ type opaqueVal struct {
 // registration: a job whose values only gob knows runs exactly over
 // real sockets.
 func TestGobFallbackOnTCP(t *testing.T) {
+	guard(t, 2*time.Minute)
 	kv.RegisterWireType(opaqueVal{})
 	spec := cluster.Uniform(2)
 	m := metrics.NewSet()
@@ -175,6 +178,7 @@ func TestGobFallbackOnTCP(t *testing.T) {
 // output) over a DFS that spills every block to gob files on disk — the
 // paper's file-backed storage mode.
 func TestDiskBackedDFS(t *testing.T) {
+	guard(t, 2*time.Minute)
 	spec := cluster.Uniform(2)
 	m := metrics.NewSet()
 	fs := dfs.New(dfs.Config{BlockSize: 1 << 12, Replication: 2, SpillDir: t.TempDir()}, spec.IDs(), m)
@@ -205,6 +209,7 @@ func TestDiskBackedDFS(t *testing.T) {
 // TestLatencyNetworkEndToEnd runs a full job over the latency-injecting
 // transport wrapper: correctness must be unaffected by message delays.
 func TestLatencyNetworkEndToEnd(t *testing.T) {
+	guard(t, 2*time.Minute)
 	spec := cluster.Uniform(2)
 	m := metrics.NewSet()
 	fs := dfs.New(dfs.Config{BlockSize: 1 << 14, Replication: 2}, spec.IDs(), m)
@@ -238,6 +243,7 @@ func TestLatencyNetworkEndToEnd(t *testing.T) {
 // of one run; the result must still be exact and every failure must be
 // recovered.
 func TestRepeatedFailures(t *testing.T) {
+	guard(t, 2*time.Minute)
 	v := newEnv(t, 4, Options{})
 	v.writeState(t, "/state", 30)
 	job := slowHalvingJob("halve-two-failures", 12, 2)
@@ -280,6 +286,7 @@ func TestRepeatedFailures(t *testing.T) {
 // TestFailureDuringDistanceTermination: recovery must not confuse the
 // distance-based convergence decision.
 func TestFailureDuringDistanceTermination(t *testing.T) {
+	guard(t, 2*time.Minute)
 	v := newEnv(t, 3, Options{})
 	v.writeState(t, "/state", 16)
 	job := halvingJob("halve-fail-dist", 0, 0.05) // converges at iter 9: 16*2^-9 < 0.05
@@ -323,6 +330,7 @@ func TestFailureDuringDistanceTermination(t *testing.T) {
 
 // TestAllWorkersFail: the run must abort with an error, not hang.
 func TestAllWorkersFail(t *testing.T) {
+	guard(t, 2*time.Minute)
 	v := newEnv(t, 2, Options{Timeout: 10 * time.Second})
 	v.writeState(t, "/state", 10)
 	job := slowHalvingJob("halve-all-fail", 50, 2)
@@ -350,6 +358,7 @@ func TestAllWorkersFail(t *testing.T) {
 // TestManyTasksManyIterations is a soak test: 12 pairs on 3 workers,
 // 30 iterations, full async, verifying exactness end to end.
 func TestManyTasksManyIterations(t *testing.T) {
+	guard(t, 2*time.Minute)
 	spec := cluster.Uniform(3)
 	spec.MapSlots, spec.ReduceSlots = 4, 4
 	v := newEnvSpec(t, spec, Options{})
@@ -379,6 +388,7 @@ func TestManyTasksManyIterations(t *testing.T) {
 // TestBufferThresholdValues: results are identical across buffer
 // thresholds (the §3.3 buffering is a performance knob, not semantics).
 func TestBufferThresholdValues(t *testing.T) {
+	guard(t, 2*time.Minute)
 	var ref map[int64]any
 	for _, thresh := range []int{1, 3, 1024} {
 		v := newEnv(t, 2, Options{})

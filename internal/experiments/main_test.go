@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"imapreduce/internal/leaktest"
+)
+
+// TestMain fails the package when any goroutine born during the tests
+// is still running after the last one finishes — the teardown
+// discipline (every engine Run and network Close must join its
+// goroutines) is enforced, not just hoped for. See internal/leaktest.
+func TestMain(m *testing.M) {
+	leaktest.VerifyTestMain(m)
+}
+
+// guard arms the deadlock watchdog for a heavy test: if the test is
+// still running after d, every goroutine's stack is dumped to stderr
+// and the process panics, so a CI hang dies with a diagnosis instead of
+// idling into the go test binary's global timeout. Size d well above
+// the worst honest runtime — the watchdog is for hangs, not slowness.
+func guard(t *testing.T, d time.Duration) {
+	t.Cleanup(leaktest.Watchdog(t, d))
+}

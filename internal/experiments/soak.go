@@ -124,7 +124,11 @@ func SoakSchedule(cfg SoakConfig) []SoakEvent {
 		}
 		switch kind {
 		case SoakStall:
-			ev.Dur = 60*time.Millisecond + time.Duration(rng.Intn(60))*time.Millisecond
+			// Stalls must overshoot the heartbeat tolerance (200ms, see
+			// soakOptions) by a wide margin so detection is certain while
+			// honest scheduling jitter on a loaded machine stays far
+			// below it.
+			ev.Dur = 400*time.Millisecond + time.Duration(rng.Intn(300))*time.Millisecond
 		case SoakPartition:
 			// Kept well inside the ReliableSend retry envelope so cut
 			// links heal before senders give up.
@@ -207,12 +211,15 @@ func soakOutput(fs *dfs.DFS, at, dir string) (map[int64]float64, error) {
 
 // soakOptions: heartbeats on so stalls are *detected* faults, generous
 // send retries so partitions inside the schedule's durations heal
-// before any sender gives up.
+// before any sender gives up. The 200ms miss tolerance sits a factor
+// of two under the shortest injected stall (400ms) and far above the
+// scheduling jitter of a loaded or single-CPU machine — tightening it
+// reintroduces spurious all-workers-dead flakes.
 func soakOptions(onIter func(core.IterInfo)) core.Options {
 	return core.Options{
 		Timeout:           time.Minute,
-		HeartbeatInterval: 10 * time.Millisecond,
-		HeartbeatMisses:   5,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   10,
 		SendRetries:       9,
 		OnIteration:       onIter,
 	}
@@ -235,7 +242,16 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 	if err := soakWriteInputs(cfg, refFS, refSpec.IDs()[0], g); err != nil {
 		return rep, err
 	}
-	refEng, err := core.NewEngine(refFS, transport.NewChanNetwork(), refSpec, nil, soakOptions(nil))
+	// The reference run injects no faults, so aggressive failure
+	// detection buys nothing and costs flake: on a loaded (or
+	// single-CPU) machine a scheduling hiccup longer than the 50ms
+	// chaotic-run tolerance spuriously kills every calm worker at once.
+	// Keep heartbeats on but give the calm cluster two full seconds of
+	// silence before declaring anyone dead.
+	refOpts := soakOptions(nil)
+	refOpts.HeartbeatInterval = 50 * time.Millisecond
+	refOpts.HeartbeatMisses = 40
+	refEng, err := core.NewEngine(refFS, transport.NewChanNetwork(), refSpec, nil, refOpts)
 	if err != nil {
 		return rep, err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // -soak.iters scales soak length: `make soak` raises it for longer
@@ -38,6 +39,9 @@ func TestSoakScheduleDeterministic(t *testing.T) {
 
 func runSoak(t *testing.T, cfg SoakConfig) {
 	t.Helper()
+	// A wedged soak (lost recovery, stuck barrier) dies with a full
+	// goroutine dump instead of hanging CI.
+	guard(t, 5*time.Minute)
 	rep, err := Soak(cfg)
 	if err != nil {
 		t.Fatalf("soak failed: %v\nreproduce with: go test ./internal/experiments -run TestSoak -soak.iters=%d (seed %d, algo %s)\nschedule: %v",

@@ -13,7 +13,31 @@ import (
 // does not close the gap. (Absolute ratios differ by design: the
 // simulator models 2011 EC2 constants, the real engines run in-process.)
 func TestSimulatorRealEngineConsistency(t *testing.T) {
+	// Simulator, deterministic cost model — valid under any build.
+	d, err := graph.ByName("sssp-s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simcluster.SSSPWorkload(d)
+	p := simcluster.DefaultParams(20)
+	simMR := simcluster.SimulateMR(p, w, 10)
+	simIMR := simcluster.SimulateIMR(p, w, 10, simcluster.IMROptions{})
+	simRatio := simIMR.TotalSec / simMR.TotalSec
+	if simRatio >= 0.9 {
+		t.Fatalf("simulator: iMR/MR ratio %.2f — no advantage modeled", simRatio)
+	}
+	if simMR.InitSec >= simMR.TotalSec {
+		t.Fatal("simulator: init exceeds total")
+	}
+
 	// Real engines, quick configuration, SSSP on the facebook dataset.
+	// This half is a wall-clock ratio; the race detector's uneven
+	// instrumentation overhead (like the other raceDetectorEnabled
+	// skips) swamps the iteration-structure advantage it measures.
+	if raceDetectorEnabled {
+		t.Logf("simulated iMR/MR = %.2f; real-engine ratio skipped under the race detector", simRatio)
+		return
+	}
 	cfg := Quick()
 	cfg.Scale = 400 // ~3k nodes: fast but not noise-dominated
 	cfg.SSSPIters = 6
@@ -31,23 +55,6 @@ func TestSimulatorRealEngineConsistency(t *testing.T) {
 	}
 	if finals["MapReduce (ex. init.)"] >= finals["MapReduce"] {
 		t.Fatal("real engines: removing init did not reduce baseline time")
-	}
-
-	// Simulator, same workload family.
-	d, err := graph.ByName("sssp-s", 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	w := simcluster.SSSPWorkload(d)
-	p := simcluster.DefaultParams(20)
-	simMR := simcluster.SimulateMR(p, w, 10)
-	simIMR := simcluster.SimulateIMR(p, w, 10, simcluster.IMROptions{})
-	simRatio := simIMR.TotalSec / simMR.TotalSec
-	if simRatio >= 0.9 {
-		t.Fatalf("simulator: iMR/MR ratio %.2f — no advantage modeled", simRatio)
-	}
-	if simMR.InitSec >= simMR.TotalSec {
-		t.Fatal("simulator: init exceeds total")
 	}
 	// Both substrates agree on the direction and the rough regime.
 	if (realRatio < 1) != (simRatio < 1) {

@@ -1,0 +1,268 @@
+// Package leaktest is a stdlib-only goroutine-leak checker and deadlock
+// watchdog for this repository's tests. The engine, the transport
+// backends, and the chaos harness all spawn goroutines whose lifetimes
+// are supposed to be bounded by a Close or a context; a leak here is a
+// real bug (PR 1's teardown discipline exists because of them) but is
+// invisible to a passing test. leaktest makes it visible:
+//
+//   - Check(t) snapshots the live goroutines and returns a function
+//     (defer it) that fails the test if goroutines born during the test
+//     are still running after a grace period.
+//   - VerifyTestMain(m) does the same for a whole package: put it in
+//     TestMain and any goroutine that outlives the last test fails the
+//     run.
+//   - Watchdog(t, d) arms a deadline; if the test is still running when
+//     it passes, every goroutine's stack is dumped to stderr and the
+//     process panics — turning a silent CI hang into a diagnosable
+//     failure.
+//
+// Known long-lived goroutines (for example the transport flusher while
+// a network is deliberately kept open) are suppressed with
+// IgnoreFunc("(*tcpConn).flushLoop")-style substring filters.
+package leaktest
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// opts is the assembled configuration of one check.
+type opts struct {
+	timeout time.Duration
+	ignores []string
+}
+
+// Option configures Check or VerifyTestMain.
+type Option func(*opts)
+
+// Timeout sets how long the checker keeps retrying before declaring the
+// surviving goroutines leaked. Goroutines legitimately take a moment to
+// wind down after Close — the default grace is 5s, far above any real
+// teardown but far below a CI timeout.
+func Timeout(d time.Duration) Option {
+	return func(o *opts) { o.timeout = d }
+}
+
+// IgnoreFunc suppresses goroutines whose stack contains substr (match
+// against the full stack text, so both function names and file paths
+// work). Use it for goroutines whose lifetime is deliberately longer
+// than the test, and say why at the call site.
+func IgnoreFunc(substr string) Option {
+	return func(o *opts) { o.ignores = append(o.ignores, substr) }
+}
+
+func buildOpts(options []Option) opts {
+	o := opts{timeout: 5 * time.Second}
+	for _, opt := range options {
+		opt(&o)
+	}
+	return o
+}
+
+// defaultIgnores hides the runtime/testing-owned daemons that outlive
+// any test by design.
+var defaultIgnores = []string{
+	"testing.Main(",
+	"testing.(*M).",
+	"os/signal.signal_recv",
+	"runtime.ensureSigM",
+	"created by runtime/trace",
+	"runtime.ReadTrace",
+}
+
+// goroutine is one parsed entry of a full runtime.Stack dump.
+type goroutine struct {
+	id    int
+	stack string // full text including the "goroutine N [state]:" header
+}
+
+// rawStacks returns the full stack dump of every goroutine, growing the
+// buffer until the dump fits.
+func rawStacks() []byte {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return buf[:n]
+		}
+		if len(buf) >= 64<<20 {
+			return buf[:n]
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}
+
+// capture parses the current dump. The first entry is always the
+// calling goroutine.
+func capture() (all []goroutine, currentID int) {
+	for i, chunk := range strings.Split(string(rawStacks()), "\n\n") {
+		chunk = strings.TrimSpace(chunk)
+		if chunk == "" {
+			continue
+		}
+		g := goroutine{id: goroutineID(chunk), stack: chunk}
+		if i == 0 {
+			currentID = g.id
+		}
+		all = append(all, g)
+	}
+	return all, currentID
+}
+
+// goroutineID extracts N from a "goroutine N [state]:" header (0 when
+// the header is malformed — such an entry is never filtered by ID and
+// so errs toward being reported).
+func goroutineID(stack string) int {
+	rest, ok := strings.CutPrefix(stack, "goroutine ")
+	if !ok {
+		return 0
+	}
+	if i := strings.IndexByte(rest, ' '); i > 0 {
+		if id, err := strconv.Atoi(rest[:i]); err == nil {
+			return id
+		}
+	}
+	return 0
+}
+
+func ignored(stack string, o opts) bool {
+	for _, s := range defaultIgnores {
+		if strings.Contains(stack, s) {
+			return true
+		}
+	}
+	for _, s := range o.ignores {
+		if strings.Contains(stack, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// leaked returns the goroutines alive now that are neither in the
+// baseline, nor the caller, nor filtered.
+func leaked(baseline map[int]bool, o opts) []goroutine {
+	all, cur := capture()
+	var out []goroutine
+	for _, g := range all {
+		if g.id == cur || baseline[g.id] || ignored(g.stack, o) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// settle retries until no leaked goroutines remain or the grace period
+// runs out, returning the final survivors.
+func settle(baseline map[int]bool, o opts) []goroutine {
+	deadline := time.Now().Add(o.timeout)
+	delay := time.Millisecond
+	for {
+		survivors := leaked(baseline, o)
+		if len(survivors) == 0 || time.Now().After(deadline) {
+			return survivors
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+func baselineIDs() map[int]bool {
+	all, _ := capture()
+	ids := make(map[int]bool, len(all))
+	for _, g := range all {
+		ids[g.id] = true
+	}
+	return ids
+}
+
+func formatLeaks(gs []goroutine) string {
+	var b strings.Builder
+	for _, g := range gs {
+		b.WriteString(g.stack)
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}
+
+// Check snapshots the live goroutines and returns the verification
+// function; defer it at the top of the test:
+//
+//	defer leaktest.Check(t)()
+//
+// Every goroutine started during the test must be gone (or filtered)
+// by the time the deferred call's grace period ends, else the test
+// fails with the survivors' stacks.
+func Check(t testing.TB, options ...Option) func() {
+	o := buildOpts(options)
+	baseline := baselineIDs()
+	return func() {
+		if survivors := settle(baseline, o); len(survivors) > 0 {
+			t.Errorf("leaktest: %d goroutine(s) still running %v after the test:\n\n%s",
+				len(survivors), o.timeout, formatLeaks(survivors))
+		}
+	}
+}
+
+// exitFn is swapped by leaktest's own tests; VerifyTestMain must
+// os.Exit so a leak fails the package even though no *testing.T is
+// live anymore.
+var exitFn = os.Exit
+
+// VerifyTestMain runs the package's tests and then verifies that no
+// goroutine born during them survived. Wire it as:
+//
+//	func TestMain(m *testing.M) { leaktest.VerifyTestMain(m) }
+//
+// A leak turns an otherwise green package red with the survivors'
+// stacks on stderr.
+func VerifyTestMain(m *testing.M, options ...Option) {
+	o := buildOpts(options)
+	baseline := baselineIDs()
+	code := m.Run()
+	if code == 0 {
+		if survivors := settle(baseline, o); len(survivors) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"leaktest: %d goroutine(s) still running %v after all tests:\n\n%s",
+				len(survivors), o.timeout, formatLeaks(survivors))
+			code = 1
+		}
+	}
+	exitFn(code)
+}
+
+// watchdogFired is what an expired watchdog does. The default dumps
+// every goroutine's stack to stderr and panics, so a deadlocked test
+// dies with a full diagnosis instead of idling until the go test
+// binary's global timeout truncates it. leaktest's own tests replace it
+// to observe firing.
+var watchdogFired = func(name string, d time.Duration, stacks []byte) {
+	fmt.Fprintf(os.Stderr,
+		"leaktest: watchdog: %s still running after %v; goroutine dump:\n\n%s\n",
+		name, d, stacks)
+	panic(fmt.Sprintf("leaktest: watchdog: %s exceeded %v (deadlock?)", name, d))
+}
+
+// Watchdog arms a deadline for the calling test; stop it when the test
+// completes:
+//
+//	defer leaktest.Watchdog(t, 2*time.Minute)()
+//
+// If the deadline passes first, every goroutine's stack is dumped and
+// the process panics. Size d well above the test's worst honest runtime
+// — the watchdog is for hangs, not slowness.
+func Watchdog(t testing.TB, d time.Duration) (stop func()) {
+	name := t.Name()
+	timer := time.AfterFunc(d, func() {
+		watchdogFired(name, d, rawStacks())
+	})
+	return func() { timer.Stop() }
+}

@@ -1,0 +1,167 @@
+package leaktest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"imapreduce/internal/transport"
+)
+
+// recordTB captures Errorf calls so the checker's failure path can be
+// asserted without failing the real test. Unimplemented testing.TB
+// methods panic via the embedded nil interface — the checker only needs
+// Errorf and Name.
+type recordTB struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (r *recordTB) Errorf(format string, args ...any) {
+	r.failed = true
+	r.msg = fmt.Sprintf(format, args...)
+}
+
+func (r *recordTB) Name() string { return "recordTB" }
+
+// parkedGoroutine blocks until released; the function name is what the
+// leak report (and the IgnoreFunc filter) must find in the stack.
+func parkedGoroutine(release <-chan struct{}, started chan<- struct{}) {
+	started <- struct{}{}
+	<-release
+}
+
+func TestCheckCatchesSeededLeak(t *testing.T) {
+	rec := &recordTB{}
+	check := Check(rec, Timeout(300*time.Millisecond))
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go parkedGoroutine(release, started)
+	<-started
+	defer close(release)
+
+	check()
+	if !rec.failed {
+		t.Fatal("checker did not report the deliberately leaked goroutine")
+	}
+	if !strings.Contains(rec.msg, "parkedGoroutine") {
+		t.Fatalf("leak report does not name the leaked function:\n%s", rec.msg)
+	}
+}
+
+func TestCheckIgnoreFuncSuppresses(t *testing.T) {
+	rec := &recordTB{}
+	check := Check(rec, Timeout(300*time.Millisecond), IgnoreFunc("parkedGoroutine"))
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go parkedGoroutine(release, started)
+	<-started
+	defer close(release)
+
+	check()
+	if rec.failed {
+		t.Fatalf("filtered goroutine was still reported:\n%s", rec.msg)
+	}
+}
+
+// TestCheckCleanRun is the green path: a test that starts and joins its
+// goroutines passes a plain check (this runs under -race in CI).
+func TestCheckCleanRun(t *testing.T) {
+	defer Check(t)()
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// TestTransportFlusherFilter exercises the documented use case: a
+// deliberately open TCPNetwork keeps its flusher (and acceptor, reader,
+// and inbox pumps) alive, the filter list suppresses exactly those, and
+// once the network is closed a plain unfiltered check passes — proving
+// Close joins every transport goroutine.
+func TestTransportFlusherFilter(t *testing.T) {
+	recFiltered := &recordTB{}
+	filtered := Check(recFiltered, Timeout(2*time.Second),
+		IgnoreFunc("(*tcpConn).flushLoop"),
+		IgnoreFunc("(*tcpEndpoint).accept"),
+		IgnoreFunc("(*tcpEndpoint).readLoop"),
+		IgnoreFunc("(*inbox).pump"))
+	recBare := &recordTB{}
+	bare := Check(recBare, Timeout(300*time.Millisecond))
+	afterClose := Check(t, Timeout(5*time.Second))
+
+	net := transport.NewTCPNetwork()
+	a, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", transport.Message{Kind: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	<-b.Recv()
+
+	filtered()
+	if recFiltered.failed {
+		t.Fatalf("filter list did not suppress the transport goroutines:\n%s", recFiltered.msg)
+	}
+	bare()
+	if !recBare.failed {
+		t.Fatal("unfiltered check passed while the network was open — the control is broken")
+	}
+	if !strings.Contains(recBare.msg, "flushLoop") {
+		t.Fatalf("unfiltered report does not show the flusher:\n%s", recBare.msg)
+	}
+
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	afterClose()
+}
+
+func TestWatchdogFires(t *testing.T) {
+	fired := make(chan []byte, 1)
+	oldFired := watchdogFired
+	watchdogFired = func(name string, d time.Duration, stacks []byte) {
+		fired <- stacks
+	}
+	defer func() { watchdogFired = oldFired }()
+
+	stop := Watchdog(t, 20*time.Millisecond)
+	defer stop()
+
+	select {
+	case dump := <-fired:
+		if !strings.Contains(string(dump), "TestWatchdogFires") {
+			t.Fatalf("watchdog dump does not include the hung test's stack:\n%s", dump)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog did not fire")
+	}
+}
+
+func TestWatchdogStopped(t *testing.T) {
+	fired := make(chan []byte, 1)
+	oldFired := watchdogFired
+	watchdogFired = func(name string, d time.Duration, stacks []byte) {
+		fired <- stacks
+	}
+	defer func() { watchdogFired = oldFired }()
+
+	stop := Watchdog(t, 20*time.Millisecond)
+	stop()
+
+	select {
+	case <-fired:
+		t.Fatal("stopped watchdog fired anyway")
+	case <-time.After(100 * time.Millisecond):
+	}
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fixturePkg is the package path each analyzer's fixtures pretend to
+// live at, chosen so the analyzer's Match accepts them (simdeterminism
+// only looks at the simulator packages; metrickey skips internal/metrics
+// and internal/trace).
+var fixturePkg = map[string]string{
+	"lockedsend":     "imapreduce/internal/transport",
+	"spanpair":       "imapreduce/internal/core",
+	"sendcheck":      "imapreduce/internal/core",
+	"simdeterminism": "imapreduce/internal/sim",
+	"metrickey":      "imapreduce/internal/core",
+}
+
+// wantRe extracts the expectation regex from a `// want "..."` (or
+// backquoted) comment.
+var wantRe = regexp.MustCompile("// want (\"[^\"]*\"|`[^`]*`)")
+
+// TestFixtures runs each analyzer over its testdata/<name> directory.
+// Files named bad*.go must produce exactly the findings their `// want`
+// comments describe; files named good*.go must produce none — the
+// no-false-positive half of each analyzer's contract.
+func TestFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatalf("no fixtures for analyzer %s: %v", a.Name, err)
+			}
+			ran := 0
+			for _, e := range entries {
+				if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+					continue
+				}
+				runFixture(t, a, filepath.Join(dir, e.Name()))
+				ran++
+			}
+			if ran < 2 {
+				t.Fatalf("analyzer %s must have at least a bad and a good fixture, found %d file(s)", a.Name, ran)
+			}
+		})
+	}
+}
+
+func runFixture(t *testing.T, a *Analyzer, path string) {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgPath := fixturePkg[a.Name]
+	if pkgPath == "" {
+		t.Fatalf("no fixture package path registered for analyzer %s", a.Name)
+	}
+	pkg, err := ParseSource(pkgPath, path, string(src))
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{a})
+
+	wants := map[int][]string{} // line -> expectation regexes
+	for i, line := range strings.Split(string(src), "\n") {
+		for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+			pat, err := strconv.Unquote(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string %s: %v", path, i+1, m[1], err)
+			}
+			wants[i+1] = append(wants[i+1], pat)
+		}
+	}
+	if strings.HasPrefix(filepath.Base(path), "good") && len(wants) > 0 {
+		t.Fatalf("%s: good fixtures must not carry want comments", path)
+	}
+
+	got := map[int][]string{} // line -> finding messages
+	for _, f := range findings {
+		got[f.Pos.Line] = append(got[f.Pos.Line], f.Message)
+	}
+
+	for line, pats := range wants {
+		msgs := got[line]
+		if len(msgs) != len(pats) {
+			t.Errorf("%s:%d: want %d finding(s) matching %q, got %d: %q",
+				path, line, len(pats), pats, len(msgs), msgs)
+			continue
+		}
+		claimed := make([]bool, len(msgs))
+		for _, pat := range pats {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regex %q: %v", path, line, pat, err)
+			}
+			matched := false
+			for i, msg := range msgs {
+				if !claimed[i] && re.MatchString(msg) {
+					claimed[i], matched = true, true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no finding matches %q (got %q)", path, line, pat, msgs)
+			}
+		}
+	}
+	for line, msgs := range got {
+		if _, expected := wants[line]; !expected {
+			t.Errorf("%s:%d: unexpected finding(s): %q", path, line, msgs)
+		}
+	}
+}
+
+// TestByName pins the registry: every analyzer resolves by its own name
+// and unknown names return nil.
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		if got := ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want the registered analyzer", a.Name, got)
+		}
+	}
+	if got := ByName("nope"); got != nil {
+		t.Errorf("ByName(nope) = %v, want nil", got)
+	}
+}
+
+// TestSuppressionDirective checks the imrlint:ignore forms the fixtures
+// don't cover: same-line placement, the multi-name list, and the "all"
+// wildcard.
+func TestSuppressionDirective(t *testing.T) {
+	const src = `package p
+
+func f(ep endpoint) {
+	ep.Send(1, "a") // imrlint:ignore sendcheck same-line directive
+	ep.Send(2, "b") // imrlint:ignore all wildcard mutes every analyzer
+	// imrlint:ignore sendcheck,lockedsend list names both analyzers
+	ep.Send(3, "c")
+	ep.Send(4, "d") // imrlint:ignore lockedsend wrong analyzer does not mute sendcheck
+}
+`
+	pkg, err := ParseSource("imapreduce/internal/core", "sup.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{SendCheck})
+	if len(findings) != 1 {
+		t.Fatalf("want exactly 1 surviving finding, got %d: %v", len(findings), findings)
+	}
+	if findings[0].Pos.Line != 8 {
+		t.Errorf("surviving finding on line %d, want line 8 (the wrong-analyzer directive)", findings[0].Pos.Line)
+	}
+}

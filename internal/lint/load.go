@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadOptions tunes LoadPackages.
+type LoadOptions struct {
+	// Tests includes _test.go files (excluded by default: the invariants
+	// guard production code, and tests deliberately exercise bad
+	// patterns).
+	Tests bool
+}
+
+// ModulePath reads the module path from the go.mod at or above dir,
+// returning the module path and the module root directory.
+func ModulePath(dir string) (string, string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(rest), dir, nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module directive in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadPackages parses every Go package under each pattern into lint
+// Packages. A pattern is a directory, or a directory suffixed with
+// "/..." for a recursive walk. Directories named testdata, vendor, or
+// starting with "." or "_" are skipped, matching the go tool's rules.
+// File paths in findings are reported relative to the module root.
+func LoadPackages(patterns []string, opts LoadOptions) ([]*Package, error) {
+	modPath, modRoot, err := ModulePath(".")
+	if err != nil {
+		return nil, err
+	}
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		rec := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			rec, pat = true, rest
+		} else if pat == "..." {
+			rec, pat = true, "."
+		}
+		pat = filepath.Clean(pat)
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: %s is not a directory", pat)
+		}
+		if !rec {
+			dirs[pat] = true
+			continue
+		}
+		err = filepath.WalkDir(pat, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != pat && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			dirs[p] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		pkg, err := loadDir(dir, modPath, modRoot, opts)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// loadDir parses one directory into a Package (nil when it holds no
+// eligible Go files).
+func loadDir(dir, modPath, modRoot string, opts LoadOptions) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !opts.Tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		display := path
+		if abs, err := filepath.Abs(path); err == nil {
+			if rel, err := filepath.Rel(modRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+				display = rel
+			}
+		}
+		af, err := parser.ParseFile(fset, display, mustRead(path), parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		files = append(files, &File{Name: display, AST: af})
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	pkgPath := modPath
+	if abs, err := filepath.Abs(dir); err == nil {
+		if rel, err := filepath.Rel(modRoot, abs); err == nil && rel != "." && !strings.HasPrefix(rel, "..") {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	return &Package{Path: pkgPath, Fset: fset, Files: files}, nil
+}
+
+func mustRead(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil // surfaces as a parse error with the right file name
+	}
+	return data
+}
+
+// ParseSource builds a single-file Package from in-memory source — the
+// fixture tests and documentation examples use it.
+func ParseSource(pkgPath, fileName, src string) (*Package, error) {
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, fileName, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: pkgPath, Fset: fset, Files: []*File{{Name: fileName, AST: af}}}, nil
+}

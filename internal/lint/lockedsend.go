@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockedSend flags transport sends performed while a sync.Mutex or
+// RWMutex is held in the same function: a channel send statement, or a
+// call to Send / ReliableSend / sendReliable, between X.Lock() (or
+// X.RLock()) and the matching unlock. The engine's task loops and the
+// master drain unbounded inboxes, but the TCP backend and the chaos
+// wrapper can block inside Send (dial, flush, injected latency); doing
+// that under a lock the receive path also needs is the classic
+// distributed-deadlock shape PRs 1–4 were careful to avoid.
+//
+// Non-blocking sends — a select with a default clause — are exempt:
+// that is precisely the idiom (see tcpConn.flushReq) for signalling
+// under a lock safely.
+var LockedSend = &Analyzer{
+	Name: "lockedsend",
+	Doc: "channel send or transport Send/ReliableSend call while holding a " +
+		"sync mutex in the same function (deadlock risk; non-blocking " +
+		"select-with-default sends are allowed)",
+	Run: runLockedSend,
+}
+
+// sendCallNames are the callee names lockedsend treats as potentially
+// blocking transport sends.
+var sendCallNames = map[string]bool{
+	"Send":         true, // transport.Endpoint.Send
+	"ReliableSend": true, // transport.ReliableSend
+	"sendReliable": true, // core.Engine.sendReliable
+}
+
+func runLockedSend(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, fb := range functionBodies(f.AST) {
+			ls := &lockScan{pass: pass, fn: fb.name, held: map[string]token.Pos{}}
+			ls.scanStmts(fb.body.List, false)
+		}
+	}
+}
+
+// lockScan walks one function body in statement order, tracking which
+// mutexes are held. Branches of if/switch/select are scanned with a
+// copy of the held set (they are alternatives, not a sequence).
+type lockScan struct {
+	pass *Pass
+	fn   string
+	held map[string]token.Pos // receiver text -> Lock() position
+}
+
+func (ls *lockScan) copyHeld() map[string]token.Pos {
+	c := make(map[string]token.Pos, len(ls.held))
+	for k, v := range ls.held {
+		c[k] = v
+	}
+	return c
+}
+
+// scanStmts processes a statement list. nonBlocking marks statements
+// inside a select that has a default clause, where channel sends cannot
+// block.
+func (ls *lockScan) scanStmts(stmts []ast.Stmt, nonBlocking bool) {
+	for _, s := range stmts {
+		ls.scanStmt(s, nonBlocking)
+	}
+}
+
+func (ls *lockScan) scanStmt(s ast.Stmt, nonBlocking bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok && ls.lockOp(call, false) {
+			return
+		}
+		ls.checkExpr(st.X)
+	case *ast.SendStmt:
+		if !nonBlocking && len(ls.held) > 0 {
+			recv, pos := ls.anyHeld()
+			ls.pass.Reportf(st.Arrow,
+				"channel send in %s while %s is locked (Lock at line %d); release the lock or use a non-blocking select",
+				ls.fn, recv, ls.pass.Pkg.Fset.Position(pos).Line)
+		}
+		ls.checkExpr(st.Value)
+	case *ast.DeferStmt:
+		// defer X.Unlock() keeps the lock held for the rest of the
+		// function body — exactly the window we must keep sends out of.
+		// Other deferred calls run at return, outside this linear scan.
+		ls.lockOp(st.Call, true)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			ls.checkExpr(r)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			ls.checkExpr(r)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			ls.scanStmt(st.Init, nonBlocking)
+		}
+		ls.checkExpr(st.Cond)
+		saved := ls.copyHeld()
+		ls.scanStmts(st.Body.List, nonBlocking)
+		bodyHeld := ls.held
+		ls.held = saved
+		if st.Else != nil {
+			ls.scanStmt(st.Else, nonBlocking)
+		}
+		// Conservative join: a lock taken in either branch stays
+		// suspect afterwards; an unlock in either branch clears only if
+		// both branches cleared it.
+		for k, v := range bodyHeld {
+			if _, ok := ls.held[k]; !ok {
+				ls.held[k] = v
+			}
+		}
+	case *ast.BlockStmt:
+		ls.scanStmts(st.List, nonBlocking)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			ls.scanStmt(st.Init, nonBlocking)
+		}
+		if st.Cond != nil {
+			ls.checkExpr(st.Cond)
+		}
+		ls.scanStmts(st.Body.List, nonBlocking)
+	case *ast.RangeStmt:
+		ls.checkExpr(st.X)
+		ls.scanStmts(st.Body.List, nonBlocking)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			ls.scanStmt(st.Init, nonBlocking)
+		}
+		if st.Tag != nil {
+			ls.checkExpr(st.Tag)
+		}
+		saved := ls.copyHeld()
+		for _, c := range st.Body.List {
+			ls.held = saved
+			saved = ls.copyHeld()
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.scanStmts(cc.Body, nonBlocking)
+			}
+		}
+		ls.held = saved
+	case *ast.TypeSwitchStmt:
+		saved := ls.copyHeld()
+		for _, c := range st.Body.List {
+			ls.held = saved
+			saved = ls.copyHeld()
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.scanStmts(cc.Body, nonBlocking)
+			}
+		}
+		ls.held = saved
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		saved := ls.copyHeld()
+		for _, c := range st.Body.List {
+			ls.held = saved
+			saved = ls.copyHeld()
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm != nil {
+				// The comm op itself (send or receive) blocks only when
+				// the select has no default.
+				ls.scanStmt(cc.Comm, hasDefault)
+			}
+			ls.scanStmts(cc.Body, nonBlocking)
+		}
+		ls.held = saved
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold this goroutine's locks;
+		// its body is analyzed as its own function.
+	case *ast.LabeledStmt:
+		ls.scanStmt(st.Stmt, nonBlocking)
+	}
+}
+
+// checkExpr reports blocking send calls appearing anywhere in an
+// expression while a lock is held (it does not descend into function
+// literals).
+func (ls *lockScan) checkExpr(e ast.Expr) {
+	if e == nil || len(ls.held) == 0 {
+		return
+	}
+	walkShallow(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, name, ok := selectorCall(call); ok && sendCallNames[name] {
+			held, pos := ls.anyHeld()
+			target := name
+			if recv != "" {
+				target = recv + "." + name
+			}
+			ls.pass.Reportf(call.Pos(),
+				"call to %s in %s while %s is locked (Lock at line %d); transport sends can block — release the lock first",
+				target, ls.fn, held, ls.pass.Pkg.Fset.Position(pos).Line)
+		}
+		return true
+	})
+}
+
+// lockOp updates the held set when call is a Lock/RLock/Unlock/RUnlock
+// on some receiver, returning true when it was one. isDefer marks
+// `defer X.Unlock()`, which does NOT release for the linear scan (the
+// unlock happens at return).
+func (ls *lockScan) lockOp(call *ast.CallExpr, isDefer bool) bool {
+	recv, name, ok := selectorCall(call)
+	if !ok || recv == "" {
+		return false
+	}
+	switch name {
+	case "Lock", "RLock":
+		if isDefer {
+			return true
+		}
+		ls.held[recv] = call.Pos()
+		return true
+	case "Unlock", "RUnlock":
+		if !isDefer {
+			delete(ls.held, recv)
+		}
+		return true
+	}
+	return false
+}
+
+// anyHeld returns one held mutex (the earliest-locked) for messages.
+func (ls *lockScan) anyHeld() (string, token.Pos) {
+	bestName, bestPos := "", token.Pos(0)
+	for k, v := range ls.held {
+		if bestPos == 0 || v < bestPos || (v == bestPos && k < bestName) {
+			bestName, bestPos = k, v
+		}
+	}
+	return bestName, bestPos
+}

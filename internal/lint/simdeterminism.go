@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SimDeterminism guards the reproducibility of the simulator and the
+// seeded chaos soak: internal/sim, internal/simcluster, and the soak
+// scheduling in internal/experiments must produce bit-identical results
+// from a seed alone. Three leak paths are flagged:
+//
+//   - wall-clock reads (time.Now / time.Since / time.Until) — a value
+//     derived from the host clock differs between runs. Sleeping and
+//     timers are allowed: they pace a real engine without feeding
+//     nondeterministic values into results.
+//   - the global math/rand source (rand.Intn, rand.Float64, ...) —
+//     only rand.New(rand.NewSource(seed)) keeps the stream replayable.
+//   - iteration over a map while accumulating ordered output (append or
+//     channel send in the loop body) — Go randomizes map order per run.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc: "no wall-clock reads, global math/rand source, or map-iteration-" +
+		"ordered output in the simulator and soak scheduling (seeded runs " +
+		"must be bit-reproducible)",
+	Match: func(pkgPath, fileBase string) bool {
+		switch {
+		case strings.HasSuffix(pkgPath, "internal/sim"),
+			strings.HasSuffix(pkgPath, "internal/simcluster"):
+			return true
+		case strings.HasSuffix(pkgPath, "internal/experiments"):
+			// Only the seeded soak scheduler; the other experiment files
+			// time real engine runs and legitimately read the clock.
+			return fileBase == "soak.go"
+		}
+		return false
+	},
+	Run: runSimDeterminism,
+}
+
+// wallClockFuncs are the time package functions that read the host
+// clock into a value.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandCtors are the math/rand functions allowed in deterministic
+// code: constructors for an explicitly seeded source.
+var seededRandCtors = map[string]bool{"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true}
+
+func runSimDeterminism(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		timeName := importName(f.AST, "time")
+		randName := importName(f.AST, "math/rand")
+		if randName == "" {
+			randName = importName(f.AST, "math/rand/v2")
+		}
+
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				recv, name, ok := selectorCall(call)
+				if !ok {
+					return true
+				}
+				if timeName != "" && recv == timeName && wallClockFuncs[name] {
+					pass.Reportf(call.Pos(),
+						"%s.%s reads the wall clock; seeded simulation/soak code must derive every value from the seed",
+						recv, name)
+				}
+				if randName != "" && recv == randName && !seededRandCtors[name] {
+					pass.Reportf(call.Pos(),
+						"%s.%s uses the global math/rand source; use a local rand.New(rand.NewSource(seed)) so the run replays from its seed",
+						recv, name)
+				}
+			}
+			return true
+		})
+
+		checkMapRangeOrder(pass, f.AST)
+	}
+}
+
+// checkMapRangeOrder flags `for k := range m` over a syntactically
+// known map when the loop body accumulates ordered output (append or a
+// channel send): Go randomizes map iteration order per process, so the
+// accumulated sequence differs between runs. The one sanctioned shape —
+// appending into a slice that is later passed to a sort.* or slices.*
+// call in the same function (collect keys, sort, iterate sorted) — is
+// exempt.
+func checkMapRangeOrder(pass *Pass, f *ast.File) {
+	for _, fb := range functionBodies(f) {
+		maps := knownMapVars(fb)
+		sorted := sortedVars(fb)
+		walkShallow(fb.body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			id, ok := rng.X.(*ast.Ident)
+			if !ok || !maps[id.Name] {
+				return true
+			}
+			if node, kind, target, found := orderedAccumulation(rng.Body); found {
+				if kind == "append" && target != "" && sorted[target] {
+					return true
+				}
+				pass.Reportf(node.Pos(),
+					"%s inside range over map %s produces map-iteration-ordered output; iterate a sorted key slice instead",
+					kind, id.Name)
+			}
+			return true
+		})
+	}
+}
+
+// orderedAccumulation finds an append call or channel send in body.
+// target is the slice appended to when it is a plain identifier.
+func orderedAccumulation(body *ast.BlockStmt) (pos ast.Node, kind, target string, found bool) {
+	var hit ast.Node
+	var what, tgt string
+	walkShallow(body, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" {
+				hit, what = x, "append"
+				if len(x.Args) > 0 {
+					if slice, ok := x.Args[0].(*ast.Ident); ok {
+						tgt = slice.Name
+					}
+				}
+				return false
+			}
+		case *ast.SendStmt:
+			hit, what = x, "channel send"
+			return false
+		}
+		return true
+	})
+	if hit == nil {
+		return nil, "", "", false
+	}
+	return hit, what, tgt, true
+}
+
+// sortedVars collects identifiers passed to a sort.* or slices.* call
+// anywhere in the function: appending map keys into a slice sorted
+// afterwards is the sanctioned fix for map-order dependence, not a bug.
+func sortedVars(fb funcBody) map[string]bool {
+	out := map[string]bool{}
+	walkShallow(fb.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, _, ok := selectorCall(call)
+		if !ok || (recv != "sort" && recv != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// knownMapVars collects identifiers whose map-ness is syntactically
+// certain within fb: parameters declared with a map type, var
+// declarations of map type, and := assignments from make(map...) or a
+// map composite literal.
+func knownMapVars(fb funcBody) map[string]bool {
+	out := map[string]bool{}
+	if fb.params != nil {
+		for _, field := range fb.params.List {
+			if _, isMap := field.Type.(*ast.MapType); isMap {
+				for _, name := range field.Names {
+					out[name.Name] = true
+				}
+			}
+		}
+	}
+	walkShallow(fb.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) {
+					break
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch r := rhs.(type) {
+				case *ast.CallExpr:
+					if fi, ok := r.Fun.(*ast.Ident); ok && fi.Name == "make" && len(r.Args) > 0 {
+						if _, isMap := r.Args[0].(*ast.MapType); isMap {
+							out[id.Name] = true
+						}
+					}
+				case *ast.CompositeLit:
+					if _, isMap := r.Type.(*ast.MapType); isMap {
+						out[id.Name] = true
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if _, isMap := vs.Type.(*ast.MapType); isMap {
+						for _, name := range vs.Names {
+							out[name.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SpanPair flags trace spans opened with Begin that can be left open:
+// a Pending that is never ended, discarded outright, or not ended on an
+// early-return path and not closed by a defer. An unpaired 'B' event
+// corrupts the factor decomposition (decompose.go pairs B/E by ID and
+// drops orphans silently), so a leak here shows up as missing coverage
+// in Fig-10 plots rather than as an error — exactly the kind of bug a
+// human review misses.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc: "every trace span Begin must have a matching End on all paths of " +
+		"the function (use defer p.End() when early returns exist)",
+	Run: runSpanPair,
+}
+
+func runSpanPair(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, fb := range functionBodies(f.AST) {
+			checkSpanPairs(pass, fb)
+		}
+	}
+}
+
+// pendingSpan tracks one `x := tr.Begin(...)` assignment in a function.
+type pendingSpan struct {
+	name     string
+	beginPos token.Pos
+	deferred bool        // defer x.End() (directly or in a deferred closure)
+	ends     []token.Pos // non-deferred x.End() call sites
+}
+
+func checkSpanPairs(pass *Pass, fb funcBody) {
+	spans := map[string]*pendingSpan{}
+	var order []*pendingSpan
+
+	// Pass 1: collect Begin assignments, End calls, and discarded
+	// Begins.
+	walkShallow(fb.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBeginCall(call) || i >= len(st.Lhs) {
+					continue
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(),
+						"result of %s discarded in %s; the span can never be ended",
+						exprString(call.Fun), fb.name)
+					continue
+				}
+				sp := &pendingSpan{name: id.Name, beginPos: call.Pos()}
+				spans[id.Name] = sp
+				order = append(order, sp)
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if recv, name, ok := selectorCall(call); ok {
+					if isBeginCall(call) {
+						pass.Reportf(call.Pos(),
+							"result of %s discarded in %s; the span can never be ended",
+							exprString(call.Fun), fb.name)
+					} else if name == "End" {
+						if sp := spans[recv]; sp != nil {
+							sp.ends = append(sp.ends, call.Pos())
+						}
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			// defer x.End(), or defer func() { ...; x.End(); ... }().
+			if recv, name, ok := selectorCall(st.Call); ok && name == "End" {
+				if sp := spans[recv]; sp != nil {
+					sp.deferred = true
+				}
+			}
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if recv, name, ok := selectorCall(call); ok && name == "End" {
+							if sp := spans[recv]; sp != nil {
+								sp.deferred = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	// Pass 2: verify each span.
+	for _, sp := range order {
+		if sp.deferred {
+			continue
+		}
+		if len(sp.ends) == 0 {
+			pass.Reportf(sp.beginPos,
+				"span %s opened in %s is never ended; call %s.End() or defer it",
+				sp.name, fb.name, sp.name)
+			continue
+		}
+		lastEnd := sp.ends[len(sp.ends)-1]
+		for _, e := range sp.ends {
+			if e > lastEnd {
+				lastEnd = e
+			}
+		}
+		// Any return between Begin and the final End leaves the span
+		// open unless its own block already ended it.
+		walkShallow(fb.body, func(n ast.Node) bool {
+			if blk, ok := n.(*ast.BlockStmt); ok {
+				checkReturnsInBlock(pass, fb, sp, blk, lastEnd)
+			}
+			return true
+		})
+	}
+}
+
+// checkReturnsInBlock reports returns inside blk that happen after
+// sp.beginPos but before the function's final End of sp, when no End of
+// sp precedes the return within this same block.
+func checkReturnsInBlock(pass *Pass, fb funcBody, sp *pendingSpan, blk *ast.BlockStmt, lastEnd token.Pos) {
+	endedHere := false
+	for _, s := range blk.List {
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if recv, name, ok := selectorCall(call); ok && name == "End" && recv == sp.name {
+					endedHere = true
+				}
+			}
+		case *ast.ReturnStmt:
+			if st.Pos() > sp.beginPos && st.Pos() < lastEnd && !endedHere {
+				pass.Reportf(st.Pos(),
+					"return leaves span %s (opened at line %d) unended in %s; end it before returning or use defer %s.End()",
+					sp.name, pass.Pkg.Fset.Position(sp.beginPos).Line, fb.name, sp.name)
+			}
+		}
+	}
+}
+
+// isBeginCall reports whether call is <expr>.Begin(...).
+func isBeginCall(call *ast.CallExpr) bool {
+	recv, name, ok := selectorCall(call)
+	return ok && recv != "" && name == "Begin"
+}

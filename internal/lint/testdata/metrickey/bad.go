@@ -1,0 +1,32 @@
+// Fixture for the metrickey analyzer: every line carrying a
+// want-expectation comment must produce a matching finding.
+// Fixtures are parse-only — set and rec stand in for metrics.Set and
+// trace.Recorder.
+package fixture
+
+type set struct{}
+
+func (set) Add(name string, v int64)    {}
+func (set) AddSpan(name string, d int64) {}
+func (set) Timed(name string, f func())  {}
+
+type Kind string
+
+type rec struct{}
+
+func (rec) Emit(kind Kind, worker, task, iter int)       {}
+func (rec) Begin(kind Kind, worker, task, iter int) int  { return 0 }
+func (rec) RecordSpan(kind Kind, worker, task, iter int) {}
+
+// A typo'd literal silently splits the series — "shuffle.bytez" would
+// record next to the real "shuffle.bytes" and every reader misses it.
+func counts(m set) {
+	m.Add("shuffle.bytez", 1) // want `metric name "shuffle.bytez" passed as a string literal`
+	m.Timed("reduce.apply", func() {}) // want `metric name "reduce.apply" passed as a string literal`
+}
+
+// Literal trace kinds produce spans the decomposition never matches.
+func spans(tr rec) {
+	tr.Emit("map.flush", 0, 0, 0) // want `trace kind "map.flush" passed as a literal`
+	tr.RecordSpan(Kind("job.init"), 0, 0, 0) // want `trace kind "job.init" passed as a literal`
+}

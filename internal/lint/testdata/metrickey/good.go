@@ -1,0 +1,31 @@
+// Clean fixture for metrickey: none of these may produce a finding.
+// Types come from bad.go conceptually; fixtures are parse-only.
+package fixture
+
+// Stand-ins for the declared constants in internal/metrics and
+// internal/trace.
+const (
+	nameShuffleBytes = "shuffle.bytes"
+	kindJobInit      = Kind("job.init")
+)
+
+// Constants are exactly what the analyzer wants to see.
+func countsGood(m set) {
+	m.Add(nameShuffleBytes, 1)
+	m.Timed(nameShuffleBytes, func() {})
+}
+
+func spansGood(tr rec) {
+	tr.Emit(kindJobInit, 0, 0, 0)
+	tr.RecordSpan(kindJobInit, 0, 0, 0)
+}
+
+// Same-named methods whose first argument is not a string literal are
+// untouched: sync.WaitGroup.Add, jobconf Get-style lookups, etc.
+type group struct{}
+
+func (group) Add(delta int) {}
+
+func wait(g group) {
+	g.Add(1)
+}

@@ -1,0 +1,30 @@
+// Fixture for the sendcheck analyzer: every line carrying a
+// want-expectation comment must produce a matching finding.
+// Fixtures are parse-only — they never compile as part of the module.
+package fixture
+
+type endpoint struct{}
+
+func (endpoint) Send(to int, msg any) error { return nil }
+
+type dfsLike struct{}
+
+func (dfsLike) WriteFile(path string, data []byte) error { return nil }
+func (dfsLike) Rename(from, to string) error             { return nil }
+
+func ReliableSend(ep endpoint, to int, msg any, retries, base int) (int, error) {
+	return 0, nil
+}
+
+// A bare call statement drops the error invisibly.
+func drops(ep endpoint, to int) {
+	ep.Send(to, "payload") // want "error result of ep.Send discarded"
+}
+
+// go and defer statements discard results by construction.
+func async(ep endpoint, fs dfsLike) {
+	go ep.Send(1, "x")              // want "error result of ep.Send discarded by go statement"
+	defer fs.Rename("tmp", "final") // want "error result of fs.Rename discarded by defer"
+	fs.WriteFile("path", nil)       // want "error result of fs.WriteFile discarded"
+	ReliableSend(ep, 2, "y", 3, 0)  // want "error result of ReliableSend discarded"
+}

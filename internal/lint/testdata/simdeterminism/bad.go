@@ -1,0 +1,42 @@
+// Fixture for the simdeterminism analyzer: every line carrying a
+// want-expectation comment must produce a matching finding. The test
+// harness presents this file as part of imapreduce/internal/sim so the
+// analyzer's Match accepts it. Fixtures are parse-only.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall-clock reads leak host time into the run.
+func stamp() int64 {
+	t := time.Now() // want "time.Now reads the wall clock"
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// The global math/rand source is shared and unseedable per run.
+func jitter() int {
+	return rand.Intn(100) // want "rand.Intn uses the global math/rand source"
+}
+
+// Map iteration order leaks into the schedule: the appended sequence
+// differs between runs and nothing sorts it afterwards.
+func schedule(weights map[string]int) []string {
+	var order []string
+	for name := range weights {
+		order = append(order, name) // want "append inside range over map weights"
+	}
+	return order
+}
+
+// A channel send inside a map range hands the consumer a random order.
+func feed(weights map[string]int, out chan string) {
+	for name := range weights {
+		out <- name // want "channel send inside range over map weights"
+	}
+}

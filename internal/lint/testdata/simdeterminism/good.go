@@ -1,0 +1,41 @@
+// Clean fixture for simdeterminism: none of these may produce a
+// finding. Fixtures are parse-only.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// A locally seeded source replays bit-identically from its seed.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Sleeping and timers pace a real engine without feeding clock values
+// into results; only Now/Since/Until are flagged.
+func pace() {
+	time.Sleep(time.Millisecond)
+}
+
+// The sanctioned fix for map-order dependence: collect the keys, sort
+// them, then iterate the sorted slice.
+func sortedSchedule(weights map[string]int) []string {
+	names := make([]string, 0, len(weights))
+	for name := range weights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Ranging over a map without accumulating ordered output is fine —
+// per-key work and commutative aggregation don't observe the order.
+func total(weights map[string]int) int {
+	sum := 0
+	for _, w := range weights {
+		sum += w
+	}
+	return sum
+}

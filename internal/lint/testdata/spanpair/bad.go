@@ -1,0 +1,42 @@
+// Fixture for the spanpair analyzer: every line carrying a
+// want-expectation comment must produce a matching finding.
+// Fixtures are parse-only — they never compile as part of the module.
+package fixture
+
+type pending struct{}
+
+func (pending) End() {}
+
+type recorder struct{}
+
+func (recorder) Begin(kind string, worker, task, iter int) pending { return pending{} }
+
+// The span is opened and then simply forgotten.
+func leak(tr recorder) {
+	p := tr.Begin(kindA, 0, 0, 0) // want "span p opened in leak is never ended"
+	_ = p
+}
+
+// Discarding the Pending outright means nobody can ever end it.
+func discardStmt(tr recorder) {
+	tr.Begin(kindA, 0, 0, 0) // want "result of tr.Begin discarded in discardStmt"
+}
+
+func discardBlank(tr recorder) {
+	_ = tr.Begin(kindA, 0, 0, 0) // want "result of tr.Begin discarded in discardBlank"
+}
+
+// The early return skips the End at the bottom — the exact bug shape
+// this analyzer caught in the baseline engine's SubmitCtx.
+func early(tr recorder, fail bool) error {
+	p := tr.Begin(kindA, 0, 0, 0)
+	if fail {
+		return errSentinel // want "return leaves span p .opened at line 32. unended in early"
+	}
+	p.End()
+	return nil
+}
+
+var errSentinel error
+
+const kindA = "fixture.a"

@@ -1,0 +1,47 @@
+// Clean fixture for spanpair: none of these may produce a finding.
+// Types come from bad.go conceptually; fixtures are parse-only.
+package fixture
+
+// Straight-line Begin/End pair.
+func pair(tr recorder) {
+	p := tr.Begin(kindA, 0, 0, 0)
+	work()
+	p.End()
+}
+
+// defer p.End() covers every return path, early or not.
+func deferred(tr recorder, fail bool) error {
+	p := tr.Begin(kindA, 0, 0, 0)
+	defer p.End()
+	if fail {
+		return errSentinel
+	}
+	return nil
+}
+
+// Ending the span inside the early-return branch, before the return,
+// is also fine — that is the fix applied to the baseline engine.
+func endedBeforeReturn(tr recorder, fail bool) error {
+	p := tr.Begin(kindA, 0, 0, 0)
+	if fail {
+		p.End()
+		return errSentinel
+	}
+	p.End()
+	return nil
+}
+
+// End inside a deferred closure counts as deferred.
+func deferredClosure(tr recorder) error {
+	p := tr.Begin(kindA, 0, 0, 0)
+	defer func() {
+		p.End()
+	}()
+	if condition() {
+		return errSentinel
+	}
+	return nil
+}
+
+func work()          {}
+func condition() bool { return false }

@@ -113,18 +113,21 @@ func (e *Engine) SubmitCtx(ctx context.Context, job *Job) (*JobResult, error) {
 		if !e.fs.Exists(path) {
 			paths = e.fs.List(path + "/")
 			if len(paths) == 0 {
+				initPending.End()
 				return nil, fmt.Errorf("mapreduce: job %s: dfs: no such file or directory %q", job.Name, path)
 			}
 		}
 		for _, p := range paths {
 			ss, err := e.fs.Splits(p)
 			if err != nil {
+				initPending.End()
 				return nil, fmt.Errorf("mapreduce: job %s: %w", job.Name, err)
 			}
 			splits = append(splits, ss...)
 		}
 	}
 	if len(splits) == 0 {
+		initPending.End()
 		return nil, fmt.Errorf("mapreduce: job %s: empty input", job.Name)
 	}
 

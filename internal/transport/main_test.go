@@ -1,0 +1,15 @@
+package transport
+
+import (
+	"testing"
+
+	"imapreduce/internal/leaktest"
+)
+
+// TestMain fails the package when any goroutine born during the tests
+// is still running after the last one finishes — the teardown
+// discipline (every engine Run and network Close must join its
+// goroutines) is enforced, not just hoped for. See internal/leaktest.
+func TestMain(m *testing.M) {
+	leaktest.VerifyTestMain(m)
+}

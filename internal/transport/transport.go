@@ -66,11 +66,14 @@ type inbox struct {
 	cond   *sync.Cond
 	queue  []Message
 	closed bool
-	out    chan Message
+	// done is closed by close() so a pump parked on a full out channel
+	// wakes up and exits instead of leaking when the receiver is gone.
+	done chan struct{}
+	out  chan Message
 }
 
 func newInbox() *inbox {
-	ib := &inbox{out: make(chan Message, 64)}
+	ib := &inbox{out: make(chan Message, 64), done: make(chan struct{})}
 	ib.cond = sync.NewCond(&ib.mu)
 	go ib.pump()
 	return ib
@@ -101,13 +104,32 @@ func (ib *inbox) pump() {
 		m := ib.queue[0]
 		ib.queue = ib.queue[1:]
 		ib.mu.Unlock()
-		ib.out <- m
+		select {
+		case ib.out <- m:
+		default:
+			// Receiver is not keeping up; block, but give up if the
+			// inbox is closed while we wait — a closed endpoint's
+			// receiver may be gone for good, and parking on the send
+			// forever leaks the pump (Close documents that it releases
+			// the queue, so dropping the remainder here is correct).
+			select {
+			case ib.out <- m:
+			case <-ib.done:
+				close(ib.out)
+				return
+			}
+		}
 	}
 }
 
 func (ib *inbox) close() {
 	ib.mu.Lock()
+	if ib.closed {
+		ib.mu.Unlock()
+		return
+	}
 	ib.closed = true
+	close(ib.done)
 	ib.cond.Signal()
 	ib.mu.Unlock()
 }
