@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race short race-short bench bench-smoke trace-smoke soak ci clean
+.PHONY: all build vet lint test race short race-short bench bench-smoke trace-smoke soak proc-smoke ci clean
 
 all: ci
 
@@ -66,7 +66,16 @@ SOAK_ITERS ?= 12
 soak:
 	$(GO) test ./internal/experiments -run 'TestSoak' -count=1 -v -timeout 15m -soak.iters=$(SOAK_ITERS)
 
-ci: vet lint build race-short bench-smoke trace-smoke soak
+# Real-binary cluster smoke: builds imrmaster/imrworker, runs
+# 1-master/3-worker PageRank and SSSP over loopback TCP with a kill -9
+# schedule (worker SIGKILL mid-iteration; master SIGKILL + relaunch
+# with -resume), and diffs the canonical output byte-for-byte against
+# the in-process engine. Guarded by the procsmoke build tag so the
+# ordinary test sweep never forks processes.
+proc-smoke:
+	$(GO) test -tags procsmoke ./internal/proctest -run TestProc -count=1 -v -timeout 10m
+
+ci: vet lint build race-short bench-smoke trace-smoke soak proc-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,197 @@
+// Command imrmaster is the master half of the out-of-process cluster:
+// it owns the durable DFS image, admits imrworker processes on a fixed
+// control address, deploys a registry job onto them, and coordinates
+// the run — checkpoints, rollback recovery, migration — across process
+// boundaries.
+//
+// Usage:
+//
+//	imrmaster -listen 127.0.0.1:7070 -data /tmp/imr -workers 3 -job pagerank -param name=pr
+//	imrmaster -listen 127.0.0.1:7070 -data /tmp/imr -workers 3 -job pagerank -param name=pr -resume
+//
+// A fresh invocation seeds the job's input into the image and runs from
+// iteration zero. With -resume the image is reopened instead: the run
+// restarts from the newest durable checkpoint manifest, re-admitting
+// the surviving workers that are still knocking on the control address.
+// SIGINT/SIGTERM abort the run gracefully (workers are told to drop
+// their tasks; the image keeps the last durable checkpoint).
+//
+// Progress lines ("ITER <n> ...") go to stdout as iterations commit —
+// the process-level chaos harness keys its kill schedule off them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"imapreduce/internal/cluster"
+	"imapreduce/internal/core"
+	"imapreduce/internal/dfs"
+	"imapreduce/internal/jobs"
+	"imapreduce/internal/kv"
+	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
+)
+
+// paramFlag collects repeated -param k=v flags.
+type paramFlag map[string]string
+
+func (p paramFlag) String() string { return fmt.Sprint(map[string]string(p)) }
+
+func (p paramFlag) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	p[k] = v
+	return nil
+}
+
+func main() {
+	params := paramFlag{}
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7070", "control endpoint host:port workers dial")
+		dataDir  = flag.String("data", "", "directory for the durable DFS image (required)")
+		workers  = flag.Int("workers", 3, "worker processes to wait for before deploying")
+		jobKey   = flag.String("job", "pagerank", "registry job to run: "+strings.Join(jobs.Keys(), " | "))
+		resume   = flag.Bool("resume", false, "reopen the image and restart from the newest durable checkpoint")
+		waitFor  = flag.Duration("wait", 60*time.Second, "how long to wait for worker registrations")
+		hbEvery  = flag.Duration("heartbeat", time.Second, "worker heartbeat sweep interval")
+		hbMisses = flag.Int("heartbeat-misses", 5, "silent intervals before a worker is declared dead")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "no-progress abort")
+		outPath  = flag.String("out", "", "write the canonical sorted output to this local file")
+	)
+	flag.Var(params, "param", "job parameter key=value (repeatable)")
+	flag.Parse()
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "imrmaster: -data is required")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *listen, *dataDir, *workers, *jobKey, params, *resume,
+		*waitFor, *hbEvery, *hbMisses, *timeout, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "imrmaster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, listen, dataDir string, workers int, jobKey string,
+	params map[string]string, resume bool, waitFor, hbEvery time.Duration,
+	hbMisses int, timeout time.Duration, outPath string) error {
+
+	cfg, err := dfs.ImageInDir(dataDir)
+	if err != nil {
+		return err
+	}
+	spec := cluster.Uniform(workers)
+	m := metrics.NewSet()
+	fs, err := dfs.Open(cfg, spec.IDs(), m)
+	if err != nil {
+		return err
+	}
+
+	dir := transport.NewDirectory()
+	net := transport.NewTCPNetworkOpts(transport.TCPOptions{Resolver: dir.Resolve})
+	defer net.Close()
+	rc, err := core.NewRemoteCluster(net, dir, core.RemoteClusterOptions{Listen: listen})
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	hp, _ := net.ListenAddr(core.CtlMasterAddr)
+	fmt.Printf("MASTER control=%s resume=%v\n", hp, resume)
+
+	fsEp, err := net.Endpoint(core.DFSAddr)
+	if err != nil {
+		return err
+	}
+	svc := dfs.Serve(fs, fsEp)
+	// Defers run LIFO: the endpoint must close before Wait, or Wait
+	// blocks on a serve loop that nothing is stopping.
+	defer func() { fsEp.Close(); svc.Wait() }()
+	if dhp, ok := net.ListenAddr(core.DFSAddr); ok {
+		dir.Set(core.DFSAddr, dhp)
+	}
+
+	eng, err := core.NewEngine(fs, net, spec, m, core.Options{
+		Timeout:           timeout,
+		HeartbeatInterval: hbEvery,
+		HeartbeatMisses:   hbMisses,
+		OnIteration: func(info core.IterInfo) {
+			fmt.Printf("ITER %d dist=%v wall=%v\n", info.Iter, info.Dist, info.CompletedAt.Round(time.Millisecond))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	eng.AttachRemote(rc)
+
+	wctx, cancel := context.WithTimeout(ctx, waitFor)
+	ids, err := rc.WaitForWorkers(wctx, workers)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("waiting for %d workers: %w", workers, err)
+	}
+	fmt.Printf("WORKERS %s\n", strings.Join(ids, " "))
+
+	if !resume {
+		if err := jobs.Seed(fs, spec.IDs()[0], jobKey, params); err != nil {
+			return fmt.Errorf("seed %s: %w", jobKey, err)
+		}
+	}
+	job, err := jobs.Build(jobKey, params)
+	if err != nil {
+		return err
+	}
+
+	var res *core.Result
+	if resume {
+		res, err = eng.ResumeCtx(ctx, job)
+	} else {
+		res, err = eng.RunCtx(ctx, job)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DONE iters=%d converged=%v recoveries=%d wall=%v\n",
+		res.Iterations, res.Converged, res.Recoveries, res.TotalWall.Round(time.Millisecond))
+
+	if outPath != "" {
+		if err := dumpOutput(fs, spec.IDs()[0], res.OutputPath, outPath); err != nil {
+			return err
+		}
+		fmt.Printf("OUTPUT %s\n", outPath)
+	}
+	return nil
+}
+
+// dumpOutput flattens the run's output partitions into one canonical
+// local file: "key<TAB>value" lines sorted by key string. Go's %v float
+// formatting is shortest-roundtrip, so two bit-identical runs produce
+// byte-identical files.
+func dumpOutput(fs *dfs.DFS, at, outDir, path string) error {
+	var recs []kv.Pair
+	for _, f := range fs.List(outDir + "/") {
+		pairs, err := fs.ReadFile(f, at)
+		if err != nil {
+			return fmt.Errorf("read output %s: %w", f, err)
+		}
+		recs = append(recs, pairs...)
+	}
+	lines := make([]string, len(recs))
+	for i, r := range recs {
+		lines[i] = fmt.Sprintf("%v\t%v", r.Key, r.Value)
+	}
+	sort.Strings(lines)
+	return os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644)
+}

@@ -1,0 +1,67 @@
+// Command imrworker is the worker half of the out-of-process cluster:
+// it registers with an imrmaster over the control address, hosts
+// whatever task pairs the master's plans assign, and keeps probing for
+// master liveness — a vanished master tears the run down and re-enters
+// the join loop, so a restarted `imrmaster -resume` finds this process
+// already knocking.
+//
+// Usage:
+//
+//	imrworker -master 127.0.0.1:7070 -id worker-0
+//
+// SIGINT/SIGTERM deregister gracefully (the master re-places our pairs
+// through its normal recovery path, minus the detection delay) and
+// exit. Anything harsher — kill -9 included — is what the master's
+// heartbeat deadline is for.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"imapreduce/internal/core"
+	"imapreduce/internal/jobs"
+	"imapreduce/internal/metrics"
+)
+
+func main() {
+	var (
+		master     = flag.String("master", "", "master control host:port (required)")
+		id         = flag.String("id", "", "stable worker identity, e.g. worker-0 (required)")
+		listenHost = flag.String("listen-host", "127.0.0.1", "interface task endpoints bind")
+		pingEvery  = flag.Duration("ping", 500*time.Millisecond, "master liveness probe interval")
+		pingMisses = flag.Int("ping-misses", 6, "silent intervals before the master is declared lost")
+	)
+	flag.Parse()
+	if *master == "" || *id == "" {
+		fmt.Fprintln(os.Stderr, "imrworker: -master and -id are required")
+		os.Exit(2)
+	}
+
+	host, err := core.NewWorkerHost(core.WorkerHostOptions{
+		ID:           *id,
+		MasterAddr:   *master,
+		ListenHost:   *listenHost,
+		Build:        jobs.Build,
+		Metrics:      metrics.NewSet(),
+		PingInterval: *pingEvery,
+		PingMisses:   *pingMisses,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imrworker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("WORKER %s master=%s\n", *id, *master)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := host.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "imrworker:", err)
+		os.Exit(1)
+	}
+}

@@ -69,13 +69,22 @@ type Options struct {
 }
 
 // Engine executes iMapReduce jobs over a DFS, a transport network and a
-// cluster spec.
+// cluster spec. The file system is the dfs.FS interface: the master's
+// engine holds the real *dfs.DFS, while the engine a WorkerHost builds
+// as task context holds a *dfs.Client talking to the master's block
+// service — task code cannot tell the difference.
 type Engine struct {
-	fs   *dfs.DFS
+	fs   dfs.FS
 	net  transport.Network
 	spec cluster.Spec
 	m    *metrics.Set
 	opts Options
+
+	// rc, when set via AttachRemote, deploys runs onto registered worker
+	// processes instead of spawning task goroutines; remote holds the
+	// active run's plan state (master goroutine only).
+	rc     *RemoteCluster
+	remote *remoteRun
 
 	mu           sync.Mutex
 	running      bool
@@ -92,7 +101,7 @@ type Engine struct {
 }
 
 // NewEngine creates an engine. m may be nil.
-func NewEngine(fs *dfs.DFS, net transport.Network, spec cluster.Spec, m *metrics.Set, opts Options) (*Engine, error) {
+func NewEngine(fs dfs.FS, net transport.Network, spec cluster.Spec, m *metrics.Set, opts Options) (*Engine, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -141,7 +150,7 @@ func (e *Engine) sendReliable(ep transport.Endpoint, to string, msg transport.Me
 }
 
 // FS returns the engine's file system.
-func (e *Engine) FS() *dfs.DFS { return e.fs }
+func (e *Engine) FS() dfs.FS { return e.fs }
 
 // Spec returns the engine's cluster spec.
 func (e *Engine) Spec() cluster.Spec { return e.spec }
@@ -509,16 +518,28 @@ func (e *Engine) runCtx(ctx context.Context, job *Job, resume bool) (*Result, er
 		}
 	}
 
-	// Build and start the persistent tasks.
-	master, tasks, err := e.spawnTasks(job, phases, aux, run, n, auxN)
+	// Build and start the persistent tasks: goroutines in-process,
+	// plans to registered worker processes in remote mode.
+	spawn := e.spawnTasks
+	if e.rc != nil {
+		spawn = e.spawnRemote
+	}
+	master, tasks, err := spawn(job, phases, aux, run, n, auxN)
 	if err != nil {
 		return nil, err
 	}
 	var runErr error
 	defer func() {
-		for _, addr := range tasks.all {
-			if ep, err := e.net.Endpoint(addr); err == nil {
-				ep.Close()
+		if e.rc != nil {
+			// Remote tasks live in worker processes: release the run
+			// there instead of touching local endpoints (Endpoint would
+			// *create* them here).
+			e.releaseRemote(master, job.Name)
+		} else {
+			for _, addr := range tasks.all {
+				if ep, err := e.net.Endpoint(addr); err == nil {
+					ep.Close()
+				}
 			}
 		}
 		master.Close()
@@ -647,185 +668,46 @@ func (e *Engine) spawnTasks(job *Job, phases []*Job, aux *Job, run *runState, n,
 	if err != nil {
 		return nil, nil, err
 	}
-	ts := &taskSet{byPair: make([][]string, n), auxByPair: make([][]string, auxN)}
-	numMain := len(phases)
-	last := numMain - 1
-	auxPhase := numMain
+	ts := buildTaskSet(job.Name, len(phases), n, auxN)
+	f := &taskFactory{e: e, job: job, phases: phases, aux: aux, run: run, n: n, auxN: auxN}
 
-	mkEndpoint := func(addr string) (transport.Endpoint, error) {
-		ep, err := e.net.Endpoint(addr)
+	spawnPair := func(phase, idx int, isAux bool) error {
+		mep, err := e.net.Endpoint(mapAddr(job.Name, phase, idx))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ts.all = append(ts.all, addr)
-		return ep, nil
+		mt := f.buildMapTask(phase, idx, mep)
+		if err := mt.loadStatic(); err != nil {
+			return err
+		}
+		rep, err := e.net.Endpoint(redAddr(job.Name, phase, idx))
+		if err != nil {
+			return err
+		}
+		rt := f.buildReduceTask(phase, idx, rep)
+		worker, taskIdx, ph := run.pairWorker[idx], idx, fmt.Sprint(phase)
+		if isAux {
+			worker, taskIdx, ph = run.auxWorker[idx], n+idx, "aux"
+		}
+		e.m.Add(metrics.TasksLaunched, 2)
+		e.opts.Trace.Emit(trace.KindTaskLaunch, worker, taskIdx, 0,
+			trace.Attr{Key: "phase", Value: ph})
+		ts.wg.Add(2)
+		go func() { defer ts.wg.Done(); mt.loop() }()
+		go func() { defer ts.wg.Done(); rt.loop() }()
+		return nil
 	}
 
-	for pi, p := range phases {
-		bufThresh := p.BufferThreshold
-		if bufThresh <= 0 {
-			bufThresh = DefaultBufferThreshold
-		}
-		redAddrs := make([]string, n)
-		for i := range redAddrs {
-			redAddrs[i] = redAddr(job.Name, pi, i)
-		}
+	for pi := range phases {
 		for i := 0; i < n; i++ {
-			// Map task of phase pi, pair i.
-			mep, err := mkEndpoint(mapAddr(job.Name, pi, i))
-			if err != nil {
+			if err := spawnPair(pi, i, false); err != nil {
 				return nil, nil, err
 			}
-			feeders := 1
-			broadcast := false
-			if pi == 0 && p.Mapping == OneToAll {
-				feeders, broadcast = n, true
-			}
-			mt := &mapTask{
-				e: e, run: run, jobName: job.Name, job: p,
-				phase: pi, idx: i,
-				selfLoads: pi == 0,
-				broadcast: broadcast,
-				stream:    !p.SyncMap && !broadcast,
-				feeders:   feeders,
-				worker:    run.pairWorker[i],
-				ep:        mep,
-				redAddrs:  redAddrs,
-				numReduce: n,
-				bufThresh: bufThresh,
-				outBuf:    make([][]kv.Pair, n),
-				pend:      make(map[int]*mapAccum),
-			}
-			if err := mt.loadStatic(); err != nil {
-				return nil, nil, err
-			}
-			ts.byPair[i] = append(ts.byPair[i], mep.Addr())
-
-			// Reduce task of phase pi, pair i.
-			rep, err := mkEndpoint(redAddr(job.Name, pi, i))
-			if err != nil {
-				return nil, nil, err
-			}
-			lastJob := phases[last]
-			gated := pi == last &&
-				((lastJob.DistThreshold > 0 && lastJob.Distance != nil) || aux != nil)
-			rt := &reduceTask{
-				e: e, run: run, jobName: job.Name, job: p,
-				phase: pi, idx: i,
-				isTermination: pi == last,
-				gated:         gated,
-				worker:        run.pairWorker[i],
-				ep:            rep,
-				numMaps:       n,
-				bufThresh:     bufThresh,
-				pend:          make(map[int]*redAccum),
-				prev:          make(map[any]any),
-				held:          make(map[int][]kv.Pair),
-			}
-			if pi == last {
-				ts.termReds = append(ts.termReds, rep.Addr())
-			}
-			// Route the new state: phase pi feeds phase pi+1's maps
-			// within the iteration; the last phase loops back to phase
-			// 0's maps for the next iteration.
-			nextPhase := pi + 1
-			rt.targetIterDelta = 0
-			if pi == last {
-				nextPhase = 0
-				rt.targetIterDelta = 1
-			}
-			nextJob := phases[nextPhase]
-			if nextPhase == 0 && nextJob.Mapping == OneToAll {
-				rt.targetAddrs = make([]string, n)
-				for j := range rt.targetAddrs {
-					rt.targetAddrs[j] = mapAddr(job.Name, nextPhase, j)
-				}
-			} else {
-				rt.targetAddrs = []string{mapAddr(job.Name, nextPhase, i)}
-			}
-			rt.targetPhase = nextPhase
-			if pi == last && aux != nil {
-				rt.auxPhase = auxPhase
-				if aux.Mapping == OneToAll {
-					rt.auxAddrs = make([]string, auxN)
-					for j := range rt.auxAddrs {
-						rt.auxAddrs[j] = mapAddr(job.Name, auxPhase, j)
-					}
-				} else {
-					rt.auxAddrs = []string{mapAddr(job.Name, auxPhase, i)}
-				}
-			}
-			ts.byPair[i] = append(ts.byPair[i], rep.Addr())
-			if pi == 0 {
-				ts.phase0Maps = append(ts.phase0Maps, mep.Addr())
-			}
-			e.m.Add(metrics.TasksLaunched, 2)
-			e.opts.Trace.Emit(trace.KindTaskLaunch, run.pairWorker[i], i, 0,
-				trace.Attr{Key: "phase", Value: fmt.Sprint(pi)})
-			ts.wg.Add(2)
-			go func() { defer ts.wg.Done(); mt.loop() }()
-			go func() { defer ts.wg.Done(); rt.loop() }()
 		}
 	}
-
-	if aux != nil {
-		bufThresh := aux.BufferThreshold
-		if bufThresh <= 0 {
-			bufThresh = DefaultBufferThreshold
-		}
-		redAddrs := make([]string, auxN)
-		for i := range redAddrs {
-			redAddrs[i] = redAddr(job.Name, auxPhase, i)
-		}
-		for i := 0; i < auxN; i++ {
-			mep, err := mkEndpoint(mapAddr(job.Name, auxPhase, i))
-			if err != nil {
-				return nil, nil, err
-			}
-			feeders := 1
-			broadcast := false
-			if aux.Mapping == OneToAll {
-				feeders, broadcast = n, true // fed by all main termination reduces
-			}
-			mt := &mapTask{
-				e: e, run: run, jobName: job.Name, job: aux,
-				phase: auxPhase, idx: i, isAux: true,
-				broadcast: broadcast,
-				stream:    !aux.SyncMap && !broadcast,
-				feeders:   feeders,
-				worker:    run.auxWorker[i],
-				ep:        mep,
-				redAddrs:  redAddrs,
-				numReduce: auxN,
-				bufThresh: bufThresh,
-				outBuf:    make([][]kv.Pair, auxN),
-				pend:      make(map[int]*mapAccum),
-			}
-			if err := mt.loadStatic(); err != nil {
-				return nil, nil, err
-			}
-			rep, err := mkEndpoint(redAddr(job.Name, auxPhase, i))
-			if err != nil {
-				return nil, nil, err
-			}
-			rt := &reduceTask{
-				e: e, run: run, jobName: job.Name, job: aux,
-				phase: auxPhase, idx: i, isAux: true,
-				toMaster:  true,
-				worker:    run.auxWorker[i],
-				ep:        rep,
-				numMaps:   auxN,
-				bufThresh: bufThresh,
-				pend:      make(map[int]*redAccum),
-				prev:      make(map[any]any),
-			}
-			ts.auxByPair[i] = append(ts.auxByPair[i], mep.Addr(), rep.Addr())
-			e.m.Add(metrics.TasksLaunched, 2)
-			e.opts.Trace.Emit(trace.KindTaskLaunch, run.auxWorker[i], n+i, 0,
-				trace.Attr{Key: "phase", Value: "aux"})
-			ts.wg.Add(2)
-			go func() { defer ts.wg.Done(); mt.loop() }()
-			go func() { defer ts.wg.Done(); rt.loop() }()
+	for i := 0; i < auxN; i++ {
+		if err := spawnPair(len(phases), i, true); err != nil {
+			return nil, nil, err
 		}
 	}
 	return master, ts, nil

@@ -139,6 +139,14 @@ type Job struct {
 	// main job (§5.3).
 	AuxDecide func(iter int, outputs []kv.Pair) bool
 
+	// Registry and Params identify this job in the process-global job
+	// registry so a remote worker can rebuild the identical definition
+	// from a plan message (functions do not cross the wire). Builders in
+	// internal/jobs set them; required for remote runs, ignored
+	// in-process.
+	Registry string
+	Params   map[string]string
+
 	successor *Job
 	auxiliary *Job
 }

@@ -125,11 +125,23 @@ func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *J
 		return best
 	}
 
+	// respawnPending tracks an in-flight remote respawn: the workers
+	// whose plan acks are still owed, and when patience runs out. The
+	// recovery rollback waits on it — freshly planned tasks do not exist
+	// until their worker acks, and a rollback they never saw would stall
+	// the generation forever.
+	var respawnPending map[string]bool
+	var respawnDeadline time.Time
+
 	// failWorker is the single recovery path for crashed, hung, and
 	// injected failures: mark the worker dead, re-place every pair that
 	// lived on it, then roll the whole computation back to the last
-	// durable checkpoint (§3.4.1). Returns a non-nil error only when no
-	// worker is left to recover onto.
+	// durable checkpoint (§3.4.1). In-process, the task goroutines
+	// survive "their" worker's death and are just relabeled; in remote
+	// mode the pairs are respawned on their new owners via a new plan
+	// epoch, and the rollback is deferred until every live worker has
+	// acknowledged it. Returns a non-nil error only when no worker is
+	// left to recover onto.
 	failWorker := func(worker string) error {
 		if !live[worker] || terminated {
 			return nil
@@ -144,17 +156,26 @@ func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *J
 			if run.workerOfPhasePair(0, i) == worker {
 				nw := leastLoaded()
 				run.setPairWorker(i, nw, false)
-				sendCmd(ts.byPair[i], cmdMsg{Kind: cmdReassign, Worker: nw})
+				if e.remote == nil {
+					sendCmd(ts.byPair[i], cmdMsg{Kind: cmdReassign, Worker: nw})
+				}
 			}
 		}
 		for i := 0; i < auxN; i++ {
 			if run.workerOfPhasePair(len(phases), i) == worker {
 				nw := leastLoaded()
 				run.setPairWorker(i, nw, true)
-				sendCmd(ts.auxByPair[i], cmdMsg{Kind: cmdReassign, Worker: nw})
+				if e.remote == nil {
+					sendCmd(ts.auxByPair[i], cmdMsg{Kind: cmdReassign, Worker: nw})
+				}
 			}
 		}
 		recoveries++
+		if e.remote != nil {
+			respawnPending = e.respawnPlans(master, run, live)
+			respawnDeadline = time.Now().Add(planEndpointTimeout)
+			return nil
+		}
 		rollbackAll(ckptLast)
 		return nil
 	}
@@ -195,6 +216,7 @@ func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *J
 	for w := range live {
 		lastBeat[w] = time.Now()
 	}
+	var lastSweep time.Time
 
 	// Progress timeout, deadline-tracked: the deadline advances on every
 	// received message; the timer only ever *checks* it, so a fire that
@@ -216,11 +238,43 @@ func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *J
 			abort()
 			return nil, fmt.Errorf("core: job %s: run canceled: %w", job.Name, context.Cause(ctx))
 		case <-beatCheck:
+			// Silence is only evidence if the detector was listening: a
+			// sweep arriving late means this loop itself was blocked (a
+			// remote respawn, slow sends) with unread beats queued in the
+			// inbox. Skip one sweep so they drain; a genuinely dead worker
+			// is still caught on the next timely one.
+			if !lastSweep.IsZero() && time.Since(lastSweep) > 2*e.opts.HeartbeatInterval {
+				lastSweep = time.Now()
+				continue
+			}
+			lastSweep = time.Now()
 			limit := time.Duration(e.opts.HeartbeatMisses) * e.opts.HeartbeatInterval
 			hosting := hostingWorkers()
+			// A rollback in flight commands every task into a blocking
+			// checkpoint reload, during which none of them can reach their
+			// beat ticker — that silence is expected, not evidence of
+			// death. Staleness detection resumes once the generation is
+			// fully acknowledged; a quiesce that never completes is caught
+			// by the progress timeout instead.
+			quiescing := acks < totalTasks
 			for w := range hosting {
-				if live[w] && time.Since(lastBeat[w]) > limit {
+				if !quiescing && live[w] && time.Since(lastBeat[w]) > limit {
 					e.m.Add(metrics.FailuresDetected, 1)
+					if err := failWorker(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			// A worker that dies *during* a respawn may host no pairs and
+			// so escape heartbeat detection; past the deadline its missing
+			// ack is itself the failure signal.
+			if respawnPending != nil && time.Now().After(respawnDeadline) {
+				overdue := make([]string, 0, len(respawnPending))
+				for w := range respawnPending {
+					overdue = append(overdue, w)
+				}
+				sort.Strings(overdue)
+				for _, w := range overdue {
 					if err := failWorker(w); err != nil {
 						return nil, err
 					}
@@ -263,6 +317,11 @@ func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *J
 			ackSeen[msg.From] = true
 			acks++
 			if acks == totalTasks {
+				// The quiesce is over: beats flow again from this instant,
+				// so silence accumulated during the reload must not count.
+				for w := range lastBeat {
+					lastBeat[w] = time.Now()
+				}
 				sendCmd(ts.phase0Maps, cmdMsg{Kind: cmdGo, Gen: gen, ToIter: rbToIter})
 			}
 
@@ -273,6 +332,34 @@ func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *J
 		case failMsg:
 			if err := failWorker(pl.Worker); err != nil {
 				return nil, err
+			}
+
+		case planAckMsg:
+			// Remote respawn completion: once every live worker has
+			// re-applied the plan (and reported where the replacement
+			// endpoints listen), refresh the directory, drop stale cached
+			// connections, and only then issue the recovery rollback.
+			if e.remote == nil || pl.Epoch != e.remote.epoch || respawnPending == nil || !respawnPending[pl.Worker] {
+				continue
+			}
+			if pl.Err != "" {
+				terminate()
+				return nil, fmt.Errorf("core: job %s: worker %s rejected respawn plan: %s", job.Name, pl.Worker, pl.Err)
+			}
+			e.rc.dir.SetAll(pl.Endpoints)
+			delete(respawnPending, pl.Worker)
+			if len(respawnPending) == 0 {
+				respawnPending = nil
+				liveWorkers := make([]string, 0, len(live))
+				for w, ok := range live {
+					if ok {
+						liveWorkers = append(liveWorkers, w)
+					}
+				}
+				sort.Strings(liveWorkers)
+				e.broadcastDirectory(master, liveWorkers)
+				e.invalidateRun(ts)
+				rollbackAll(ckptLast)
 			}
 
 		case ckptMsg:
@@ -442,6 +529,12 @@ func (e *Engine) masterLoop(ctx context.Context, job *Job, phases []*Job, aux *J
 // rolls back).
 func (e *Engine) maybeMigrate(master transport.Endpoint, run *runState, ts *taskSet, reps map[int]reportMsg,
 	live map[string]bool, iter, lastMigIter int, migratedCount map[int]int) bool {
+	// Remote mode moves pairs only through the plan/respawn protocol
+	// (failure-driven); relabeling a goroutine is meaningless across
+	// process boundaries.
+	if e.remote != nil {
+		return false
+	}
 	if !e.opts.LoadBalance || iter < e.opts.LBMinIter || iter <= lastMigIter+1 || len(reps) < 3 {
 		return false
 	}

@@ -1,0 +1,506 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"imapreduce/internal/cluster"
+	"imapreduce/internal/core"
+	"imapreduce/internal/dfs"
+	"imapreduce/internal/jobs"
+	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
+)
+
+// These tests run the full out-of-process protocol — registration,
+// plan deployment, DFS-over-the-wire, failure respawn, master restart —
+// with master and workers as separate TCP networks inside one test
+// process. The real-binary version lives in the proc harness; here the
+// same protocol is exercised where the race detector and the package's
+// leak check can see it.
+
+const remoteWorkers = 3
+
+// remoteMaster is the master half: control endpoint, namenode + block
+// service, engine.
+type remoteMaster struct {
+	dir  *transport.Directory
+	net  *transport.TCPNetwork
+	rc   *core.RemoteCluster
+	fs   *dfs.DFS
+	m    *metrics.Set
+	eng  *core.Engine
+	svc  *dfs.Service
+	spec cluster.Spec
+	hp   string // concrete host:port of the control endpoint
+}
+
+// startMaster assembles a master over fs listening at listen
+// ("127.0.0.1:0" for fresh tests, a previous hp to emulate a restart on
+// the same address).
+func startMaster(t *testing.T, fs *dfs.DFS, m *metrics.Set, listen string, opts core.Options) *remoteMaster {
+	t.Helper()
+	dir := transport.NewDirectory()
+	net := transport.NewTCPNetworkOpts(transport.TCPOptions{Resolver: dir.Resolve})
+	rc, err := core.NewRemoteCluster(net, dir, core.RemoteClusterOptions{Listen: listen})
+	if err != nil {
+		net.Close()
+		t.Fatal(err)
+	}
+	hp, ok := net.ListenAddr(core.CtlMasterAddr)
+	if !ok {
+		t.Fatal("control endpoint has no listen address")
+	}
+	fsEp, err := net.Endpoint(core.DFSAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := dfs.Serve(fs, fsEp)
+	if dhp, ok := net.ListenAddr(core.DFSAddr); ok {
+		dir.Set(core.DFSAddr, dhp)
+	}
+	spec := cluster.Uniform(remoteWorkers)
+	if opts.Timeout == 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	eng, err := core.NewEngine(fs, net, spec, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AttachRemote(rc)
+	return &remoteMaster{dir: dir, net: net, rc: rc, fs: fs, m: m, eng: eng, svc: svc, spec: spec, hp: hp}
+}
+
+// kill emulates the master process dying: every socket goes away at
+// once, nothing is drained.
+func (rm *remoteMaster) kill() {
+	rm.rc.Close()
+	rm.net.Close()
+	rm.svc.Wait()
+}
+
+// workerProc is one worker "process".
+type workerProc struct {
+	host   *core.WorkerHost
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+}
+
+func startWorker(t *testing.T, id, masterHP string) *workerProc {
+	t.Helper()
+	host, err := core.NewWorkerHost(core.WorkerHostOptions{
+		ID:         id,
+		MasterAddr: masterHP,
+		Build:      jobs.Build,
+		// Aggressive liveness so master-death tests converge quickly —
+		// but with margin for the race detector's scheduling drag.
+		PingInterval: 50 * time.Millisecond,
+		PingMisses:   6,
+		JoinBackoff:  25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &workerProc{host: host, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		w.err = host.Run(ctx)
+	}()
+	return w
+}
+
+// stop shuts the worker down gracefully and waits for Run to return.
+func (w *workerProc) stop(t *testing.T) {
+	t.Helper()
+	w.cancel()
+	select {
+	case <-w.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not shut down")
+	}
+	if w.err != nil {
+		t.Fatalf("worker exited with error: %v", w.err)
+	}
+}
+
+func startWorkers(t *testing.T, rm *remoteMaster) []*workerProc {
+	t.Helper()
+	ws := make([]*workerProc, remoteWorkers)
+	for i := range ws {
+		ws[i] = startWorker(t, fmt.Sprintf("worker-%d", i), rm.hp)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if _, err := rm.rc.WaitForWorkers(ctx, remoteWorkers); err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+// readParts collects every output partition into one key→value map.
+func readParts(t *testing.T, fs *dfs.DFS, at, dir string) map[int64]any {
+	t.Helper()
+	out := map[int64]any{}
+	for _, p := range fs.List(dir + "/") {
+		recs, err := fs.ReadFile(p, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			out[r.Key.(int64)] = r.Value
+		}
+	}
+	return out
+}
+
+// inProcessRun runs the registry job on a classic single-process
+// engine (channel transport, local DFS) — the reference every remote
+// run must match bit for bit.
+func inProcessRun(t *testing.T, key string, params map[string]string) map[int64]any {
+	t.Helper()
+	m := metrics.NewSet()
+	spec := cluster.Uniform(remoteWorkers)
+	fs := dfs.New(dfs.Config{BlockSize: 1 << 14, Replication: 2}, spec.IDs(), m)
+	if err := jobs.Seed(fs, spec.IDs()[0], key, params); err != nil {
+		t.Fatal(err)
+	}
+	job, err := jobs.Build(key, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(fs, transport.NewChanNetwork(), spec, m, core.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := readParts(t, fs, spec.IDs()[0], res.OutputPath)
+	if len(out) == 0 {
+		t.Fatal("reference run produced no output")
+	}
+	return out
+}
+
+// TestRemoteRunMatchesInProcess is the deployment contract: the same
+// registry job run across master+worker networks produces output
+// bit-identical to the single-process engine, for both PageRank
+// (order-sensitive float sums made deterministic by the registry's
+// sorted reduce) and SSSP (order-independent min).
+func TestRemoteRunMatchesInProcess(t *testing.T) {
+	cases := []struct {
+		key    string
+		params map[string]string
+	}{
+		{"pagerank", map[string]string{"name": "pr-remote", "nodes": "200", "maxiter": "6", "ckpt": "2", "tasks": "4"}},
+		{"sssp", map[string]string{"name": "sssp-remote", "nodes": "200", "maxiter": "8", "ckpt": "2", "tasks": "4"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.key, func(t *testing.T) {
+			want := inProcessRun(t, tc.key, tc.params)
+
+			m := metrics.NewSet()
+			fs := dfs.New(dfs.Config{BlockSize: 1 << 14, Replication: 2}, cluster.Uniform(remoteWorkers).IDs(), m)
+			rm := startMaster(t, fs, m, "127.0.0.1:0", core.Options{})
+			ws := startWorkers(t, rm)
+			defer rm.kill()
+			defer func() {
+				for _, w := range ws {
+					w.stop(t)
+				}
+			}()
+
+			if err := jobs.Seed(fs, rm.spec.IDs()[0], tc.key, tc.params); err != nil {
+				t.Fatal(err)
+			}
+			job, err := jobs.Build(tc.key, tc.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := rm.eng.Run(job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := readParts(t, fs, rm.spec.IDs()[0], res.OutputPath)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("remote output differs from in-process run:\n got %v\nwant %v", got, want)
+			}
+			if launched := m.Get(metrics.TasksLaunched); launched != 0 {
+				t.Fatalf("master launched %d local tasks; remote runs must not", launched)
+			}
+		})
+	}
+}
+
+// TestRemoteRunNeedsRegistry: a job built by hand (no registry key)
+// cannot be shipped to workers and must be rejected up front.
+func TestRemoteRunNeedsRegistry(t *testing.T) {
+	m := metrics.NewSet()
+	fs := dfs.New(dfs.Config{BlockSize: 1 << 14, Replication: 2}, cluster.Uniform(remoteWorkers).IDs(), m)
+	rm := startMaster(t, fs, m, "127.0.0.1:0", core.Options{})
+	ws := startWorkers(t, rm)
+	defer rm.kill()
+	defer func() {
+		for _, w := range ws {
+			w.stop(t)
+		}
+	}()
+
+	params := map[string]string{"name": "pr-bare", "nodes": "50", "maxiter": "2"}
+	if err := jobs.Seed(fs, rm.spec.IDs()[0], "pagerank", params); err != nil {
+		t.Fatal(err)
+	}
+	job, err := jobs.Build("pagerank", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Registry = "" // hand-built job: functions cannot cross the wire
+	if _, err := rm.eng.Run(job); err == nil || !strings.Contains(err.Error(), "Registry") {
+		t.Fatalf("run without a registry key = %v, want registry error", err)
+	}
+}
+
+// TestRemoteWorkerKillRecovers kills one worker process abruptly
+// mid-iteration (sockets vanish, no leave): heartbeat deadlines detect
+// it across the process boundary, its pairs respawn on survivors at a
+// new plan epoch, the run rolls back to the last durable checkpoint and
+// still produces the reference output.
+func TestRemoteWorkerKillRecovers(t *testing.T) {
+	params := map[string]string{"name": "pr-kill", "nodes": "200", "maxiter": "8", "ckpt": "2", "tasks": "4"}
+	want := inProcessRun(t, "pagerank", params)
+
+	m := metrics.NewSet()
+	fs := dfs.New(dfs.Config{BlockSize: 1 << 14, Replication: 2}, cluster.Uniform(remoteWorkers).IDs(), m)
+
+	var kill sync.Once
+	var ws []*workerProc
+	rm := startMaster(t, fs, m, "127.0.0.1:0", core.Options{
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatMisses:   5,
+		OnIteration: func(it core.IterInfo) {
+			if it.Iter >= 3 {
+				// From the master goroutine, so fire-and-forget; the
+				// worker's sockets all close at once, like a kill -9.
+				kill.Do(func() { ws[1].host.Terminate() })
+			}
+		},
+	})
+	ws = startWorkers(t, rm)
+	defer rm.kill()
+	defer func() {
+		for i, w := range ws {
+			if i == 1 {
+				w.cancel()
+				<-w.done
+				continue
+			}
+			w.stop(t)
+		}
+	}()
+
+	if err := jobs.Seed(fs, rm.spec.IDs()[0], "pagerank", params); err != nil {
+		t.Fatal(err)
+	}
+	job, err := jobs.Build("pagerank", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rm.eng.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("run finished without recovering the killed worker")
+	}
+	got := readParts(t, fs, rm.spec.IDs()[0], res.OutputPath)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-recovery output differs from reference:\n got %v\nwant %v", got, want)
+	}
+	if det := m.Get(metrics.FailuresDetected); det == 0 {
+		t.Fatal("heartbeat detector never fired")
+	}
+}
+
+// TestRemoteGracefulLeave cancels one worker's context mid-run: it
+// deregisters with a leave frame, the master re-places its pairs
+// through the same respawn path a crash takes, and the run completes
+// with the reference output. The package's TestMain leak check owns
+// the no-goroutine-leak half of the contract.
+func TestRemoteGracefulLeave(t *testing.T) {
+	params := map[string]string{"name": "pr-leave", "nodes": "200", "maxiter": "8", "ckpt": "2", "tasks": "4"}
+	want := inProcessRun(t, "pagerank", params)
+
+	m := metrics.NewSet()
+	fs := dfs.New(dfs.Config{BlockSize: 1 << 14, Replication: 2}, cluster.Uniform(remoteWorkers).IDs(), m)
+
+	var leave sync.Once
+	var ws []*workerProc
+	rm := startMaster(t, fs, m, "127.0.0.1:0", core.Options{
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatMisses:   5,
+		OnIteration: func(it core.IterInfo) {
+			if it.Iter >= 3 {
+				leave.Do(func() { ws[2].cancel() })
+			}
+		},
+	})
+	ws = startWorkers(t, rm)
+	defer rm.kill()
+	defer func() {
+		for i, w := range ws {
+			if i == 2 {
+				<-w.done
+				if w.err != nil {
+					t.Errorf("leaving worker exited with error: %v", w.err)
+				}
+				continue
+			}
+			w.stop(t)
+		}
+	}()
+
+	if err := jobs.Seed(fs, rm.spec.IDs()[0], "pagerank", params); err != nil {
+		t.Fatal(err)
+	}
+	job, err := jobs.Build("pagerank", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rm.eng.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("run finished without re-placing the departed worker's pairs")
+	}
+	got := readParts(t, fs, rm.spec.IDs()[0], res.OutputPath)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("output after graceful leave differs from reference:\n got %v\nwant %v", got, want)
+	}
+}
+
+// waitForManifest polls the namenode until a durable checkpoint
+// manifest for iter (or later) exists.
+func waitForManifest(t *testing.T, fs *dfs.DFS, jobName string, iter int) {
+	t.Helper()
+	prefix := "/_imr/" + jobName + "/manifest-"
+	deadline := time.After(20 * time.Second)
+	for {
+		for _, p := range fs.List("/_imr/" + jobName + "/") {
+			rest, found := strings.CutPrefix(p, prefix)
+			if !found {
+				continue
+			}
+			if it, err := strconv.Atoi(rest); err == nil && it >= iter {
+				return
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no manifest for %s at iter >= %d", jobName, iter)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestRemoteMasterRestartResume is the master half of the kill matrix:
+// the master process dies mid-run (control endpoint, namenode RPC and
+// job master all vanish at once), the workers notice via missed pongs,
+// tear their runs down and fall back to the join loop; a new master on
+// the same address reopens the durable namenode image, re-admits the
+// surviving workers, and -resume semantics (ResumeCtx) finish the run
+// from the last durable manifest with reference-identical output.
+func TestRemoteMasterRestartResume(t *testing.T) {
+	params := map[string]string{"name": "pr-mrestart", "nodes": "200", "maxiter": "8", "ckpt": "1", "tasks": "4"}
+	want := inProcessRun(t, "pagerank", params)
+
+	cfg, err := dfs.ImageInDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BlockSize = 1 << 14
+	cfg.Replication = 2
+	ids := cluster.Uniform(remoteWorkers).IDs()
+
+	m1 := metrics.NewSet()
+	fs1, err := dfs.Open(cfg, ids, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm1 := startMaster(t, fs1, m1, "127.0.0.1:0", core.Options{
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatMisses:   5,
+	})
+	ws := startWorkers(t, rm1)
+	defer func() {
+		for _, w := range ws {
+			w.stop(t)
+		}
+	}()
+
+	if err := jobs.Seed(fs1, ids[0], "pagerank", params); err != nil {
+		t.Fatal(err)
+	}
+	job, err := jobs.Build("pagerank", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := rm1.eng.Run(job)
+		runErr <- err
+	}()
+	waitForManifest(t, fs1, "pr-mrestart", 3)
+	if err := rm1.eng.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-runErr; !errors.Is(err, core.ErrKilled) {
+		t.Fatalf("killed run error = %v, want ErrKilled", err)
+	}
+	rm1.kill() // the rest of the "process" dies with the run
+
+	// New master process on the same control address: reopen the image,
+	// wait for the survivors to knock, resume.
+	m2 := metrics.NewSet()
+	fs2, err := dfs.Open(cfg, ids, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm2 := startMaster(t, fs2, m2, rm1.hp, core.Options{
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatMisses:   5,
+	})
+	defer rm2.kill()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := rm2.rc.WaitForWorkers(ctx, remoteWorkers); err != nil {
+		t.Fatal(err)
+	}
+
+	job2, err := jobs.Build("pagerank", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rm2.eng.ResumeCtx(ctx, job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Get(metrics.RunsResumed); got != 1 {
+		t.Fatalf("runs.resumed = %d, want 1", got)
+	}
+	got := readParts(t, fs2, ids[0], res.OutputPath)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed output differs from reference:\n got %v\nwant %v", got, want)
+	}
+}

@@ -41,6 +41,12 @@ type Config struct {
 	// key and value types must be gob-registered
 	// (kv.RegisterWireType).
 	SpillDir string
+	// ImagePath, when non-empty, persists the namenode state (the file
+	// table, block metadata and spill sequence) to this path on every
+	// mutation, temp+rename atomically — the durable image a restarted
+	// master recovers with Open. Requires SpillDir: block *data* lives
+	// in the spill files the image points at.
+	ImagePath string
 }
 
 // DefaultConfig matches the paper's Hadoop configuration, scaled to the
@@ -137,6 +143,9 @@ func New(cfg Config, nodeIDs []string, m *metrics.Set) *DFS {
 	if cfg.Replication <= 0 {
 		cfg.Replication = 1
 	}
+	if cfg.ImagePath != "" && cfg.SpillDir == "" {
+		panic("dfs: ImagePath requires SpillDir (the image only records block metadata)")
+	}
 	alive := make(map[string]bool, len(nodeIDs))
 	for _, id := range nodeIDs {
 		alive[id] = true
@@ -229,7 +238,7 @@ func (w *Writer) Close() error {
 		}
 	}
 	w.fs.files[w.path] = &file{blocks: w.blocks, bytes: w.bytes}
-	return nil
+	return w.fs.saveImageLocked()
 }
 
 // placeLocked picks replica nodes: first the writing node if alive, the
@@ -280,6 +289,20 @@ func (fs *DFS) WriteFile(path, atNode string, recs []kv.Pair, ops kv.Ops) error 
 	w := fs.Create(path, atNode)
 	for _, p := range recs {
 		w.Append(p, ops.PairSize(p))
+	}
+	return w.Close()
+}
+
+// WriteFileSized is WriteFile with pre-computed per-record sizes — the
+// form a remote client ships, since sizing functions cannot cross the
+// wire. len(sizes) must equal len(recs).
+func (fs *DFS) WriteFileSized(path, atNode string, recs []kv.Pair, sizes []int) error {
+	if len(sizes) != len(recs) {
+		return fmt.Errorf("dfs: WriteFileSized %s: %d records but %d sizes", path, len(recs), len(sizes))
+	}
+	w := fs.Create(path, atNode)
+	for i, p := range recs {
+		w.Append(p, sizes[i])
 	}
 	return w.Close()
 }
@@ -408,6 +431,10 @@ func (fs *DFS) Delete(path string) {
 		}
 	}
 	delete(fs.files, path)
+	// Deletion durability is best-effort: a lost image update re-surfaces
+	// the file after a restart, which every caller tolerates (deletes are
+	// cleanup, and Delete itself reports no errors).
+	_ = fs.saveImageLocked()
 }
 
 // List returns committed paths with the given prefix, sorted.
@@ -433,6 +460,7 @@ func (fs *DFS) FailNode(id string) {
 	defer fs.mu.Unlock()
 	fs.alive[id] = false
 	fs.reReplicateLocked()
+	_ = fs.saveImageLocked() // replica moves are recoverable; best-effort
 }
 
 // reReplicateLocked restores each block's live replica count to the
@@ -506,7 +534,10 @@ func (fs *DFS) Rename(oldPath, newPath string) error {
 	}
 	fs.files[newPath] = f
 	delete(fs.files, oldPath)
-	return nil
+	// Rename is the commit step of write-temp-then-rename protocols
+	// (checkpoints, manifests); the image must capture it or a restarted
+	// master would see the pre-commit state and re-run from older data.
+	return fs.saveImageLocked()
 }
 
 // Checksum returns a CRC-32 over path's content: each block contributes

@@ -1,0 +1,40 @@
+package dfs
+
+import "imapreduce/internal/kv"
+
+// FS is the file-system surface the engines and tasks program against.
+// Two implementations exist: *DFS, the in-process namenode+datanodes,
+// and *Client, which forwards every call over the transport to a
+// Service wrapping a *DFS in the master process. Task code is written
+// once against FS and runs unchanged in either deployment.
+type FS interface {
+	// Splits returns one Split per block of path for map scheduling.
+	Splits(path string) ([]Split, error)
+	// ReadSplit returns the records of one block, read from atNode.
+	ReadSplit(s Split, atNode string) ([]kv.Pair, error)
+	// ReadFile reads every record of path from atNode, in block order.
+	ReadFile(path, atNode string) ([]kv.Pair, error)
+	// WriteFile writes all records in one call, sizing each with ops.
+	WriteFile(path, atNode string, recs []kv.Pair, ops kv.Ops) error
+	// StatFile returns size information for path.
+	StatFile(path string) (Stat, error)
+	// Exists reports whether path is committed.
+	Exists(path string) bool
+	// Delete removes path (no error if absent).
+	Delete(path string)
+	// List returns committed paths with the given prefix, sorted.
+	List(prefix string) []string
+	// Rename atomically moves oldPath to newPath.
+	Rename(oldPath, newPath string) error
+	// Checksum returns a placement-independent CRC-32 over path.
+	Checksum(path string) (uint32, error)
+	// FailNode marks a datanode dead and re-replicates its blocks.
+	FailNode(id string)
+	// RestoreNode brings a datanode back.
+	RestoreNode(id string)
+}
+
+var (
+	_ FS = (*DFS)(nil)
+	_ FS = (*Client)(nil)
+)

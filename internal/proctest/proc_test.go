@@ -1,0 +1,399 @@
+//go:build procsmoke
+
+// Package proctest drives the real imrmaster/imrworker binaries as
+// separate OS processes: a 1-master/3-worker cluster over loopback TCP,
+// a kill -9 schedule keyed off the master's ITER progress lines, and a
+// byte-for-byte diff of the canonical output against the in-process
+// engine. This is the layer below internal/core's remote tests — same
+// protocol, but with process isolation, signals, and exec for real.
+//
+// Guarded by the procsmoke build tag (invoked via `make proc-smoke`):
+// it builds binaries and forks processes, which the ordinary unit-test
+// sweep should not do.
+package proctest
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"imapreduce/internal/cluster"
+	"imapreduce/internal/core"
+	"imapreduce/internal/dfs"
+	"imapreduce/internal/jobs"
+	"imapreduce/internal/kv"
+	"imapreduce/internal/metrics"
+	"imapreduce/internal/transport"
+)
+
+const workers = 3
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// binaries builds imrmaster and imrworker once per test run and returns
+// the directory holding them.
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "imrproc-bin")
+		if buildErr != nil {
+			return
+		}
+		root, err := filepath.Abs("../..")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		for _, b := range []string{"imrmaster", "imrworker"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, b), "./cmd/"+b)
+			cmd.Dir = root
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("build %s: %v\n%s", b, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binDir
+}
+
+// proc wraps one child process with line-oriented stdout scanning so
+// tests can key actions ("kill -9 now") off its progress output.
+type proc struct {
+	name  string
+	cmd   *exec.Cmd
+	lines chan string
+	done  chan struct{}
+
+	mu  sync.Mutex
+	log bytes.Buffer
+}
+
+func start(t *testing.T, name, bin string, args ...string) *proc {
+	t.Helper()
+	p := &proc{name: name, cmd: exec.Command(bin, args...), lines: make(chan string, 4096), done: make(chan struct{})}
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Stderr = &lockedWriter{p: p}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 1<<16), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			fmt.Fprintf(&p.log, "%s\n", line)
+			p.mu.Unlock()
+			select {
+			case p.lines <- line:
+			default: // scanner must never block on a full channel
+			}
+		}
+		p.cmd.Wait()
+		close(p.done)
+	}()
+	t.Cleanup(func() {
+		p.cmd.Process.Kill()
+		<-p.done
+	})
+	return p
+}
+
+type lockedWriter struct{ p *proc }
+
+func (w *lockedWriter) Write(b []byte) (int, error) {
+	w.p.mu.Lock()
+	defer w.p.mu.Unlock()
+	return w.p.log.Write(b)
+}
+
+func (p *proc) dump() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.log.String()
+}
+
+// expect consumes stdout lines until one matches re, or fails the test.
+func (p *proc) expect(t *testing.T, re *regexp.Regexp, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line := <-p.lines:
+			if re.MatchString(line) {
+				return line
+			}
+		case <-p.done:
+			t.Fatalf("%s exited before printing %v; output:\n%s", p.name, re, p.dump())
+		case <-deadline:
+			t.Fatalf("%s: no line matching %v within %v; output:\n%s", p.name, re, timeout, p.dump())
+		}
+	}
+}
+
+// kill9 is the real thing: SIGKILL, no goodbye frame, sockets reset by
+// the kernel.
+func (p *proc) kill9(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-p.done
+}
+
+// stop sends SIGTERM and requires a clean (exit 0) shutdown — the
+// graceful-deregistration path.
+func (p *proc) stop(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-p.done:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("%s did not exit on SIGTERM; output:\n%s", p.name, p.dump())
+	}
+	if !p.cmd.ProcessState.Success() {
+		t.Fatalf("%s exited %v on SIGTERM; output:\n%s", p.name, p.cmd.ProcessState, p.dump())
+	}
+}
+
+func (p *proc) waitExit(t *testing.T, timeout time.Duration) {
+	t.Helper()
+	select {
+	case <-p.done:
+	case <-time.After(timeout):
+		t.Fatalf("%s still running after %v; output:\n%s", p.name, timeout, p.dump())
+	}
+	if !p.cmd.ProcessState.Success() {
+		t.Fatalf("%s exited %v; output:\n%s", p.name, p.cmd.ProcessState, p.dump())
+	}
+}
+
+// freePort reserves a concrete loopback port for a master that must be
+// relaunchable at the same address.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// masterArgs assembles the common imrmaster invocation.
+func masterArgs(listen, data, jobKey, out string, params map[string]string, resume bool) []string {
+	args := []string{
+		"-listen", listen, "-data", data, "-workers", strconv.Itoa(workers),
+		"-job", jobKey, "-out", out,
+		"-heartbeat", "250ms", "-heartbeat-misses", "4",
+	}
+	for _, k := range sortedKeys(params) {
+		args = append(args, "-param", k+"="+params[k])
+	}
+	if resume {
+		args = append(args, "-resume")
+	}
+	return args
+}
+
+func sortedKeys(m map[string]string) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func startWorkers(t *testing.T, bin, masterHP string) []*proc {
+	t.Helper()
+	ws := make([]*proc, workers)
+	for i := range ws {
+		id := fmt.Sprintf("worker-%d", i)
+		ws[i] = start(t, id, filepath.Join(bin, "imrworker"),
+			"-master", masterHP, "-id", id, "-ping", "250ms", "-ping-misses", "6")
+	}
+	return ws
+}
+
+// reference runs the registry job on the classic in-process engine and
+// returns the canonical sorted "key\tvalue" lines — the bytes the
+// multi-process cluster must reproduce exactly.
+func reference(t *testing.T, key string, params map[string]string) []string {
+	t.Helper()
+	m := metrics.NewSet()
+	spec := cluster.Uniform(workers)
+	fs := dfs.New(dfs.DefaultConfig(), spec.IDs(), m)
+	if err := jobs.Seed(fs, spec.IDs()[0], key, params); err != nil {
+		t.Fatal(err)
+	}
+	job, err := jobs.Build(key, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(fs, transport.NewChanNetwork(), spec, m, core.Options{Timeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []kv.Pair
+	for _, f := range fs.List(res.OutputPath + "/") {
+		pairs, err := fs.ReadFile(f, spec.IDs()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, pairs...)
+	}
+	if len(recs) == 0 {
+		t.Fatal("reference run produced no output")
+	}
+	lines := make([]string, len(recs))
+	for i, r := range recs {
+		lines[i] = fmt.Sprintf("%v\t%v", r.Key, r.Value)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func readOutput(t *testing.T, path string) []string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, l := range bytes.Split(bytes.TrimRight(b, "\n"), []byte("\n")) {
+		lines = append(lines, string(l))
+	}
+	return lines
+}
+
+func diffLines(t *testing.T, got, want []string, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d output lines, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: line %d differs:\n got %q\nwant %q", what, i, got[i], want[i])
+		}
+	}
+}
+
+var (
+	iterRe = func(n int) *regexp.Regexp { return regexp.MustCompile(fmt.Sprintf(`^ITER %d `, n)) }
+	doneRe = regexp.MustCompile(`^DONE iters=(\d+) converged=\S+ recoveries=(\d+)`)
+)
+
+// TestProcPageRankWorkerKill is the §3.4.1 scenario on real processes:
+// PageRank across 3 worker binaries, worker-1 killed with SIGKILL while
+// iteration 3 is in flight, the master detecting the silence, respawning
+// the pairs and rolling back — and the final output still matching the
+// in-process engine byte for byte.
+func TestProcPageRankWorkerKill(t *testing.T) {
+	bin := binaries(t)
+	params := map[string]string{"name": "pr-proc", "nodes": "300", "maxiter": "10", "ckpt": "2", "tasks": "4"}
+	want := reference(t, "pagerank", params)
+
+	out := filepath.Join(t.TempDir(), "out.txt")
+	master := start(t, "master", filepath.Join(bin, "imrmaster"),
+		masterArgs(freePort(t), t.TempDir(), "pagerank", out, params, false)...)
+	line := master.expect(t, regexp.MustCompile(`^MASTER control=`), 30*time.Second)
+	hp := regexp.MustCompile(`control=(\S+)`).FindStringSubmatch(line)[1]
+	ws := startWorkers(t, bin, hp)
+
+	master.expect(t, iterRe(2), 60*time.Second)
+	ws[1].kill9(t)
+
+	done := master.expect(t, doneRe, 120*time.Second)
+	if rec, _ := strconv.Atoi(doneRe.FindStringSubmatch(done)[2]); rec < 1 {
+		t.Fatalf("master finished without recovering from the kill: %q", done)
+	}
+	master.waitExit(t, 30*time.Second)
+	diffLines(t, readOutput(t, out), want, "pagerank after worker kill -9")
+}
+
+// TestProcMasterKillResume kills the master binary with SIGKILL
+// mid-run, then relaunches it with -resume on the same address and data
+// directory: the durable manifests define the restart point, the
+// surviving workers are re-admitted from their rejoin knocking, and the
+// finished output matches the in-process engine byte for byte.
+func TestProcMasterKillResume(t *testing.T) {
+	bin := binaries(t)
+	params := map[string]string{"name": "pr-resume", "nodes": "300", "maxiter": "10", "ckpt": "1", "tasks": "4"}
+	want := reference(t, "pagerank", params)
+
+	data := t.TempDir()
+	out := filepath.Join(t.TempDir(), "out.txt")
+	addr := freePort(t)
+	m1 := start(t, "master-1", filepath.Join(bin, "imrmaster"),
+		masterArgs(addr, data, "pagerank", out, params, false)...)
+	m1.expect(t, regexp.MustCompile(`^MASTER control=`), 30*time.Second)
+	ws := startWorkers(t, bin, addr)
+
+	// ckpt=1 means every committed iteration wrote a manifest; by the
+	// time ITER 5 prints, several durable restart points exist.
+	m1.expect(t, iterRe(5), 90*time.Second)
+	m1.kill9(t)
+
+	m2 := start(t, "master-2", filepath.Join(bin, "imrmaster"),
+		masterArgs(addr, data, "pagerank", out, params, true)...)
+	m2.expect(t, regexp.MustCompile(`^WORKERS `), 60*time.Second)
+	m2.expect(t, doneRe, 120*time.Second)
+	m2.waitExit(t, 30*time.Second)
+	diffLines(t, readOutput(t, out), want, "pagerank after master kill -9 + -resume")
+
+	// The survivors deregister cleanly: SIGTERM must exit 0.
+	for _, w := range ws {
+		w.stop(t)
+	}
+}
+
+// TestProcSSSP is the second-algorithm contract: the fault-free
+// multi-process SSSP run reproduces the in-process output exactly.
+func TestProcSSSP(t *testing.T) {
+	bin := binaries(t)
+	params := map[string]string{"name": "sssp-proc", "nodes": "300", "maxiter": "12", "ckpt": "3", "tasks": "4"}
+	want := reference(t, "sssp", params)
+
+	out := filepath.Join(t.TempDir(), "out.txt")
+	master := start(t, "master", filepath.Join(bin, "imrmaster"),
+		masterArgs(freePort(t), t.TempDir(), "sssp", out, params, false)...)
+	line := master.expect(t, regexp.MustCompile(`^MASTER control=`), 30*time.Second)
+	hp := regexp.MustCompile(`control=(\S+)`).FindStringSubmatch(line)[1]
+	ws := startWorkers(t, bin, hp)
+
+	master.expect(t, doneRe, 120*time.Second)
+	master.waitExit(t, 30*time.Second)
+	diffLines(t, readOutput(t, out), want, "sssp multi-process")
+	for _, w := range ws {
+		w.stop(t)
+	}
+}

@@ -1,0 +1,62 @@
+package transport
+
+import "sync"
+
+// Directory is a concurrent logical-address → host:port table whose
+// Resolve method satisfies AddrResolver. A multi-process cluster shares
+// one: each process registers the listen addresses of its own endpoints
+// and merges snapshots the master distributes, so any process can dial
+// any logical address without the processes sharing a Network.
+type Directory struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{m: make(map[string]string)}
+}
+
+// Set maps a logical address to a host:port.
+func (d *Directory) Set(logical, hostport string) {
+	d.mu.Lock()
+	d.m[logical] = hostport
+	d.mu.Unlock()
+}
+
+// SetAll merges a snapshot and returns the logical addresses whose
+// mapping changed — the peers whose cached connections the caller
+// should invalidate, since they now point at a dead listener.
+func (d *Directory) SetAll(entries map[string]string) []string {
+	var changed []string
+	d.mu.Lock()
+	for k, v := range entries {
+		if old, ok := d.m[k]; !ok || old != v {
+			if ok {
+				changed = append(changed, k)
+			}
+			d.m[k] = v
+		}
+	}
+	d.mu.Unlock()
+	return changed
+}
+
+// Resolve looks a logical address up; it matches AddrResolver.
+func (d *Directory) Resolve(logical string) (string, bool) {
+	d.mu.RLock()
+	hp, ok := d.m[logical]
+	d.mu.RUnlock()
+	return hp, ok
+}
+
+// Snapshot copies the current table.
+func (d *Directory) Snapshot() map[string]string {
+	d.mu.RLock()
+	out := make(map[string]string, len(d.m))
+	for k, v := range d.m {
+		out[k] = v
+	}
+	d.mu.RUnlock()
+	return out
+}

@@ -7,17 +7,58 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"imapreduce/internal/trace"
 )
 
-// TCPNetwork is the real-socket backend. Every endpoint owns a loopback
-// listener; the first Send from A to B dials one connection that stays
-// open for the lifetime of the network — the persistent sockets the
-// paper builds between reduce tasks and their map tasks.
+// ProtocolVersion is the wire protocol generation carried in every hello
+// handshake. Bump it whenever the frame format changes incompatibly;
+// mixed-version peers then fail fast with a VersionMismatchError instead
+// of a confusing decode failure mid-stream.
+const ProtocolVersion byte = 1
+
+// AddrResolver maps a logical endpoint address (e.g. "job/map/0/3" or
+// "ctl/master") to the "host:port" its listener is bound to in another
+// process. Returning ok=false means the resolver does not know the peer;
+// the dial then fails with an unknown-endpoint error. Resolvers are
+// consulted only after the local endpoint table misses, so in-process
+// peers never pay the indirection.
+type AddrResolver func(logical string) (hostport string, ok bool)
+
+// TCPOptions configures a TCPNetwork. The zero value reproduces the
+// historical behavior: loopback listeners on ephemeral ports, no
+// cross-process resolution.
+type TCPOptions struct {
+	// ListenHost is the interface new listeners bind to (default
+	// "127.0.0.1"; use "0.0.0.0" to accept off-host peers).
+	ListenHost string
+	// Resolver resolves logical addresses that are not local to this
+	// network — the bridge that lets endpoints live in different
+	// processes. Nil restricts dialing to in-process endpoints.
+	Resolver AddrResolver
+	// DialTimeout bounds one dial plus its hello handshake (default 3s).
+	DialTimeout time.Duration
+	// DialBackoffBase is the first delay after a failed dial to a peer
+	// (default 25ms). Subsequent failures double it up to DialBackoffMax;
+	// sends inside the window fail fast with a DialBackoffError rather
+	// than hammering the kernel with connection attempts.
+	DialBackoffBase time.Duration
+	// DialBackoffMax caps the per-peer dial backoff (default 2s).
+	DialBackoffMax time.Duration
+}
+
+// TCPNetwork is the real-socket backend. Every endpoint owns a listener;
+// the first Send from A to B dials one connection that stays open for
+// the lifetime of the network — the persistent sockets the paper builds
+// between reduce tasks and their map tasks. Peers are dialed by string
+// address: local endpoints resolve through the in-process table, remote
+// ones through TCPOptions.Resolver, so the same engine code runs
+// single-process or spread across imrmaster/imrworker processes.
 //
 // Frames are length-prefixed: a 4-byte big-endian body length, a frame
 // type byte, then the body. Payloads implementing WireMarshaler travel
@@ -34,11 +75,18 @@ type TCPNetwork struct {
 	mu        sync.Mutex
 	endpoints map[string]*tcpEndpoint
 	closed    bool
-	bytes     atomic.Int64
-	msgs      atomic.Int64
-	dials     atomic.Int64
-	flushes   atomic.Int64
-	tr        atomic.Pointer[trace.Recorder]
+	opts      TCPOptions
+	// helloVersion is what this network advertises and accepts; it is
+	// ProtocolVersion except in tests that force a skew.
+	helloVersion byte
+	rngMu        sync.Mutex
+	rng          *rand.Rand // dial-backoff jitter
+	bytes        atomic.Int64
+	msgs         atomic.Int64
+	dials        atomic.Int64
+	dialTries    atomic.Int64
+	flushes      atomic.Int64
+	tr           atomic.Pointer[trace.Recorder]
 }
 
 // SetTrace attaches a recorder; connection flushes emit KindNetFlush
@@ -50,24 +98,84 @@ func (n *TCPNetwork) SetTrace(r *trace.Recorder) { n.tr.Store(r) }
 func (n *TCPNetwork) Flushes() int64 { return n.flushes.Load() }
 
 // NewTCPNetwork returns an empty TCP network on the loopback interface.
-func NewTCPNetwork() *TCPNetwork {
-	return &TCPNetwork{endpoints: make(map[string]*tcpEndpoint)}
+func NewTCPNetwork() *TCPNetwork { return NewTCPNetworkOpts(TCPOptions{}) }
+
+// NewTCPNetworkOpts returns an empty TCP network configured by opts.
+func NewTCPNetworkOpts(opts TCPOptions) *TCPNetwork {
+	if opts.ListenHost == "" {
+		opts.ListenHost = "127.0.0.1"
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 3 * time.Second
+	}
+	if opts.DialBackoffBase <= 0 {
+		opts.DialBackoffBase = 25 * time.Millisecond
+	}
+	if opts.DialBackoffMax <= 0 {
+		opts.DialBackoffMax = 2 * time.Second
+	}
+	return &TCPNetwork{
+		endpoints:    make(map[string]*tcpEndpoint),
+		opts:         opts,
+		helloVersion: ProtocolVersion,
+		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 }
 
 // Dials returns how many connections have been established; tests use it
 // to prove connections are persistent (one per sender/receiver pair).
 func (n *TCPNetwork) Dials() int64 { return n.dials.Load() }
 
+// DialAttempts returns how many TCP connection attempts have been made,
+// successful or not — the quantity the dial-backoff gate bounds.
+func (n *TCPNetwork) DialAttempts() int64 { return n.dialTries.Load() }
+
 // Frame type bytes.
 const (
-	frameHello byte = 1 // body: sender's logical address
-	frameGob   byte = 2 // body: stateless gob encoding of wireMessage
-	frameBin   byte = 3 // body: binary header + WireMarshaler payload
+	frameHello    byte = 1 // body: version byte, then sender's logical address
+	frameGob      byte = 2 // body: stateless gob encoding of wireMessage
+	frameBin      byte = 3 // body: binary header + WireMarshaler payload
+	frameHelloAck byte = 4 // body: acceptor's version byte, then status byte
+)
+
+// Hello-ack status bytes.
+const (
+	helloAccept byte = 0
+	helloReject byte = 1
 )
 
 // maxFrameSize bounds a single frame; larger length prefixes are treated
 // as stream corruption.
 const maxFrameSize = 1 << 30
+
+// VersionMismatchError reports a hello handshake that failed because the
+// two processes speak different protocol generations.
+type VersionMismatchError struct {
+	Peer   string // logical address dialed
+	Local  byte   // our ProtocolVersion
+	Remote byte   // what the peer advertised in its hello ack
+}
+
+func (e *VersionMismatchError) Error() string {
+	return fmt.Sprintf("transport: protocol version mismatch dialing %q: local v%d, peer v%d — rebuild both sides from the same source tree",
+		e.Peer, e.Local, e.Remote)
+}
+
+// DialBackoffError is returned by Send while a peer's dial-backoff gate
+// is armed: a recent dial failed and the next attempt is deferred so a
+// hot retry loop cannot turn into a dial storm. It wraps the dial error
+// that armed the gate.
+type DialBackoffError struct {
+	Peer  string
+	Until time.Time // when the next dial attempt is allowed
+	Err   error     // the dial failure that armed the gate
+}
+
+func (e *DialBackoffError) Error() string {
+	return fmt.Sprintf("transport: dial %q backing off until %s: %v", e.Peer, e.Until.Format("15:04:05.000"), e.Err)
+}
+
+func (e *DialBackoffError) Unwrap() error { return e.Err }
 
 // WireMarshaler is implemented by payload types that can encode
 // themselves into the binary fast-path frame. AppendWire appends the
@@ -101,8 +209,24 @@ type tcpEndpoint struct {
 	ib       *inbox
 
 	mu    sync.Mutex
-	conns map[string]*tcpConn // persistent outbound connections by peer
+	conns map[string]*tcpConn  // persistent outbound connections by peer
+	gates map[string]*dialGate // per-peer dial backoff state
 	done  chan struct{}
+
+	// accepted has its own lock: e.mu is held across dial+handshake, and
+	// an accept path waiting on it would deadlock two endpoints dialing
+	// each other (neither can answer the other's hello) until the dial
+	// timeout.
+	acceptMu sync.Mutex
+	accepted map[net.Conn]bool // live inbound connections
+}
+
+// dialGate tracks exponential dial backoff toward one peer. It is
+// guarded by the owning endpoint's mu.
+type dialGate struct {
+	until   time.Time
+	backoff time.Duration
+	lastErr error
 }
 
 type tcpConn struct {
@@ -137,19 +261,36 @@ type wireMessage struct {
 	Size    int64
 }
 
-// Endpoint implements Network.
+// Endpoint implements Network. The listener binds to ListenHost on an
+// ephemeral port; use EndpointAt for a fixed, advertisable address.
 func (n *TCPNetwork) Endpoint(addr string) (Endpoint, error) {
+	return n.endpoint(addr, net.JoinHostPort(n.opts.ListenHost, "0"), true)
+}
+
+// EndpointAt registers endpoint addr with its listener bound to the
+// explicit TCP address listen (e.g. "127.0.0.1:7070" or ":7070") — the
+// well-known bootstrap address a master advertises to workers. Unlike
+// Endpoint it refuses to adopt an existing endpoint: a fixed address is
+// a claim of exclusive ownership.
+func (n *TCPNetwork) EndpointAt(addr, listen string) (Endpoint, error) {
+	return n.endpoint(addr, listen, false)
+}
+
+func (n *TCPNetwork) endpoint(addr, listen string, reuse bool) (Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
 		return nil, fmt.Errorf("transport: network closed")
 	}
 	if ep, ok := n.endpoints[addr]; ok {
-		return ep, nil
+		if reuse {
+			return ep, nil
+		}
+		return nil, fmt.Errorf("transport: endpoint %q already exists", addr)
 	}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	l, err := net.Listen("tcp", listen)
 	if err != nil {
-		return nil, fmt.Errorf("transport: listen for %q: %w", addr, err)
+		return nil, fmt.Errorf("transport: listen for %q on %s: %w", addr, listen, err)
 	}
 	ep := &tcpEndpoint{
 		net:      n,
@@ -157,11 +298,54 @@ func (n *TCPNetwork) Endpoint(addr string) (Endpoint, error) {
 		listener: l,
 		ib:       newInbox(),
 		conns:    make(map[string]*tcpConn),
+		gates:    make(map[string]*dialGate),
+		accepted: make(map[net.Conn]bool),
 		done:     make(chan struct{}),
 	}
 	n.endpoints[addr] = ep
 	go ep.accept()
 	return ep, nil
+}
+
+// ListenAddr reports the host:port endpoint addr's listener is bound to
+// — the address to publish in a cluster directory so other processes
+// can dial it.
+func (n *TCPNetwork) ListenAddr(addr string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.endpoints[addr]
+	if !ok {
+		return "", false
+	}
+	return ep.listener.Addr().String(), true
+}
+
+// Invalidate drops every cached outbound connection to logical address
+// peer and clears its dial-backoff gates, forcing the next Send to
+// re-resolve and re-dial. Call it after a directory change remaps peer
+// to a different process (task respawn after a worker death).
+func (n *TCPNetwork) Invalidate(peer string) {
+	n.mu.Lock()
+	eps := make([]*tcpEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, e := range eps {
+		e.mu.Lock()
+		if c, ok := e.conns[peer]; ok {
+			delete(e.conns, peer)
+			c.mu.Lock()
+			if !c.dead {
+				c.dead = true
+				c.bw.Flush()
+			}
+			c.mu.Unlock()
+			c.c.Close()
+		}
+		delete(e.gates, peer)
+		e.mu.Unlock()
+	}
 }
 
 func (e *tcpEndpoint) accept() {
@@ -170,7 +354,26 @@ func (e *tcpEndpoint) accept() {
 		if err != nil {
 			return // listener closed
 		}
-		go e.readLoop(c)
+		// Inbound connections must die with the endpoint: a peer whose
+		// frames keep landing on a closed endpoint's socket would see its
+		// sends succeed into a black hole and never re-dial — exactly the
+		// signal a restarted master depends on workers getting.
+		e.acceptMu.Lock()
+		select {
+		case <-e.done: // raced with Close after the listener check
+			e.acceptMu.Unlock()
+			c.Close()
+			continue
+		default:
+		}
+		e.accepted[c] = true
+		e.acceptMu.Unlock()
+		go func() {
+			e.readLoop(c)
+			e.acceptMu.Lock()
+			delete(e.accepted, c)
+			e.acceptMu.Unlock()
+		}()
 	}
 }
 
@@ -192,7 +395,24 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 		}
 		switch body[0] {
 		case frameHello:
-			// Connection identification; data frames carry From themselves.
+			// Connection identification and version negotiation; data
+			// frames carry From themselves. The ack is written straight to
+			// the socket — the dialer blocks on it before sending data, so
+			// there is nothing to interleave with.
+			if len(body) < 2 {
+				return
+			}
+			status := helloAccept
+			if body[1] != e.net.helloVersion {
+				status = helloReject
+			}
+			ack := []byte{0, 0, 0, 3, frameHelloAck, e.net.helloVersion, status}
+			c.SetWriteDeadline(time.Now().Add(e.net.opts.DialTimeout))
+			_, err := c.Write(ack)
+			c.SetWriteDeadline(time.Time{})
+			if err != nil || status == helloReject {
+				return
+			}
 		case frameGob:
 			var wm wireMessage
 			if err := gob.NewDecoder(bytes.NewReader(body[1:])).Decode(&wm); err != nil {
@@ -371,8 +591,30 @@ func (conn *tcpConn) flushLoop(done <-chan struct{}) {
 	}
 }
 
+// resolve maps a logical peer address to its TCP listen address: the
+// in-process endpoint table first, then the configured resolver.
+func (n *TCPNetwork) resolve(peer string) (string, error) {
+	n.mu.Lock()
+	dst, ok := n.endpoints[peer]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return "", fmt.Errorf("transport: network closed")
+	}
+	if ok {
+		return dst.listener.Addr().String(), nil
+	}
+	if n.opts.Resolver != nil {
+		if hp, found := n.opts.Resolver(peer); found {
+			return hp, nil
+		}
+	}
+	return "", fmt.Errorf("transport: unknown endpoint %q", peer)
+}
+
 // connTo returns the persistent connection to peer, dialing it on first
-// use.
+// use. Failed dials arm a per-peer exponential backoff gate (with
+// jitter); sends inside the window fail fast with DialBackoffError.
 func (e *tcpEndpoint) connTo(peer string) (*tcpConn, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -384,19 +626,67 @@ func (e *tcpEndpoint) connTo(peer string) (*tcpConn, error) {
 			return c, nil
 		}
 	}
-	e.net.mu.Lock()
-	dst, ok := e.net.endpoints[peer]
-	closed := e.net.closed
-	e.net.mu.Unlock()
-	if closed {
-		return nil, fmt.Errorf("transport: network closed")
+	if g, ok := e.gates[peer]; ok && time.Now().Before(g.until) {
+		return nil, &DialBackoffError{Peer: peer, Until: g.until, Err: g.lastErr}
 	}
-	if !ok {
-		return nil, fmt.Errorf("transport: unknown endpoint %q", peer)
-	}
-	raw, err := net.Dial("tcp", dst.listener.Addr().String())
+	target, err := e.net.resolve(peer)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %q: %w", peer, err)
+		return nil, err
+	}
+	conn, err := e.dial(peer, target)
+	if err != nil {
+		e.armGate(peer, err)
+		return nil, err
+	}
+	delete(e.gates, peer)
+	e.conns[peer] = conn
+	return conn, nil
+}
+
+// armGate records a dial failure against peer, doubling the backoff up
+// to the cap. Jitter desynchronizes retry schedules across processes so
+// a master restart is not greeted by a thundering herd of re-dials.
+func (e *tcpEndpoint) armGate(peer string, err error) {
+	g := e.gates[peer]
+	if g == nil {
+		g = &dialGate{}
+		e.gates[peer] = g
+	}
+	if g.backoff == 0 {
+		g.backoff = e.net.opts.DialBackoffBase
+	} else if g.backoff < e.net.opts.DialBackoffMax {
+		g.backoff *= 2
+		if g.backoff > e.net.opts.DialBackoffMax {
+			g.backoff = e.net.opts.DialBackoffMax
+		}
+	}
+	// Equal jitter: half the backoff is deterministic, half uniform.
+	wait := g.backoff/2 + e.net.jitter(g.backoff/2)
+	g.until = time.Now().Add(wait)
+	g.lastErr = err
+}
+
+func (n *TCPNetwork) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return time.Duration(n.rng.Int63n(int64(max) + 1))
+}
+
+// dial opens and verifies one connection to peer at target. The hello
+// carries our protocol version; the peer's ack either accepts or names
+// its own version, which surfaces as a typed VersionMismatchError.
+func (e *tcpEndpoint) dial(peer, target string) (*tcpConn, error) {
+	e.net.dialTries.Add(1)
+	raw, err := net.DialTimeout("tcp", target, e.net.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q at %s: %w", peer, target, err)
+	}
+	if err := e.handshake(raw, peer); err != nil {
+		raw.Close()
+		return nil, err
 	}
 	e.net.dials.Add(1)
 	cw := &countingWriter{w: raw, n: &e.net.bytes}
@@ -408,23 +698,34 @@ func (e *tcpEndpoint) connTo(peer string) (*tcpConn, error) {
 		owner:    e.addr,
 		peer:     peer,
 	}
-	// Identify ourselves so the peer can attribute the stream, and flush
-	// synchronously so a dead listener is caught at dial time.
-	hello := append(conn.buf[:0], 0, 0, 0, 0, frameHello)
+	go conn.flushLoop(e.done)
+	return conn, nil
+}
+
+// handshake sends the versioned hello and synchronously waits for the
+// acceptor's ack, so a dead listener or a version skew is caught at
+// dial time rather than surfacing as a decode failure mid-stream.
+func (e *tcpEndpoint) handshake(raw net.Conn, peer string) error {
+	raw.SetDeadline(time.Now().Add(e.net.opts.DialTimeout))
+	defer raw.SetDeadline(time.Time{})
+	hello := []byte{0, 0, 0, 0, frameHello, e.net.helloVersion}
 	hello = append(hello, e.addr...)
 	binary.BigEndian.PutUint32(hello, uint32(len(hello)-4))
-	conn.buf = hello
-	if _, err := conn.bw.Write(hello); err != nil {
-		raw.Close()
-		return nil, err
+	if _, err := raw.Write(hello); err != nil {
+		return fmt.Errorf("transport: hello to %q: %w", peer, err)
 	}
-	if err := conn.bw.Flush(); err != nil {
-		raw.Close()
-		return nil, err
+	e.net.bytes.Add(int64(len(hello)))
+	var ack [7]byte
+	if _, err := io.ReadFull(raw, ack[:]); err != nil {
+		return fmt.Errorf("transport: hello ack from %q: %w", peer, err)
 	}
-	go conn.flushLoop(e.done)
-	e.conns[peer] = conn
-	return conn, nil
+	if binary.BigEndian.Uint32(ack[:4]) != 3 || ack[4] != frameHelloAck {
+		return fmt.Errorf("transport: malformed hello ack from %q", peer)
+	}
+	if ack[6] != helloAccept || ack[5] != e.net.helloVersion {
+		return &VersionMismatchError{Peer: peer, Local: e.net.helloVersion, Remote: ack[5]}
+	}
+	return nil
 }
 
 func (e *tcpEndpoint) Recv() <-chan Message { return e.ib.out }
@@ -448,6 +749,11 @@ func (e *tcpEndpoint) Close() error {
 		c.c.Close()
 	}
 	e.mu.Unlock()
+	e.acceptMu.Lock()
+	for c := range e.accepted {
+		c.Close()
+	}
+	e.acceptMu.Unlock()
 	e.net.mu.Lock()
 	delete(e.net.endpoints, e.addr)
 	e.net.mu.Unlock()

@@ -1,6 +1,9 @@
 package transport
 
 import (
+	"errors"
+	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -87,5 +90,185 @@ func TestTCPSendSurvivesDeadConnection(t *testing.T) {
 	}
 	if got := collect(t, b, 1, 2*time.Second); len(got) == 0 {
 		t.Fatal("no frame delivered after re-dial")
+	}
+}
+
+// deadTarget returns a loopback host:port with nothing listening on it:
+// dials to it fail fast with connection-refused.
+func deadTarget(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestDialBackoffCapsAttempts hammers Send at an unreachable peer and
+// proves the per-peer gate turns the hot loop into a bounded, spaced
+// dial schedule: attempts are exponentially separated (each gap at
+// least half the base backoff, growing to the cap), the total is far
+// below the send count, and sends inside the window fail fast with a
+// typed DialBackoffError instead of touching the kernel.
+func TestDialBackoffCapsAttempts(t *testing.T) {
+	target := deadTarget(t)
+	var mu sync.Mutex
+	var attemptTimes []time.Time
+	nw := NewTCPNetworkOpts(TCPOptions{
+		DialTimeout:     250 * time.Millisecond,
+		DialBackoffBase: 10 * time.Millisecond,
+		DialBackoffMax:  40 * time.Millisecond,
+		Resolver: func(logical string) (string, bool) {
+			if logical != "ghost" {
+				return "", false
+			}
+			mu.Lock()
+			attemptTimes = append(attemptTimes, time.Now())
+			mu.Unlock()
+			return target, true
+		},
+	})
+	defer nw.Close()
+	a, err := nw.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sends := 0
+	deadline := time.Now().Add(310 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if err := a.Send("ghost", Message{Kind: "k", Payload: "x", Size: 1}); err == nil {
+			t.Fatal("send to unreachable peer succeeded")
+		}
+		sends++
+		time.Sleep(time.Millisecond)
+	}
+
+	attempts := nw.DialAttempts()
+	if attempts < 3 {
+		t.Fatalf("dial attempts = %d, want >= 3 (gate never re-opened?)", attempts)
+	}
+	if attempts > 20 {
+		t.Fatalf("dial storm: %d dial attempts for %d sends", attempts, sends)
+	}
+	if int64(sends) < attempts*3 {
+		t.Fatalf("sends (%d) not decoupled from dial attempts (%d)", sends, attempts)
+	}
+
+	// Spacing: every gap between real dial attempts must be at least
+	// half the base backoff (the deterministic half of the jittered
+	// wait); scheduling delays only widen gaps, never shrink them.
+	mu.Lock()
+	times := append([]time.Time(nil), attemptTimes...)
+	mu.Unlock()
+	for i := 1; i < len(times); i++ {
+		if gap := times[i].Sub(times[i-1]); gap < 5*time.Millisecond {
+			t.Fatalf("attempts %d and %d only %v apart, want >= 5ms", i-1, i, gap)
+		}
+	}
+
+	// The gate reached the configured cap via doubling.
+	ta := a.(*tcpEndpoint)
+	ta.mu.Lock()
+	g := ta.gates["ghost"]
+	ta.mu.Unlock()
+	if g == nil || g.backoff != 40*time.Millisecond {
+		t.Fatalf("gate backoff = %v, want capped at 40ms", g)
+	}
+
+	// Inside the window the failure is the typed fail-fast error.
+	var dbe *DialBackoffError
+	err = a.Send("ghost", Message{Kind: "k", Payload: "x", Size: 1})
+	if !errors.As(err, &dbe) && nw.DialAttempts() != attempts+1 {
+		t.Fatalf("send inside backoff window: got %v, want DialBackoffError or a fresh attempt", err)
+	}
+
+	// A directory change clears the gate so the remapped peer is dialed
+	// immediately.
+	nw.Invalidate("ghost")
+	ta.mu.Lock()
+	cleared := ta.gates["ghost"] == nil
+	ta.mu.Unlock()
+	if !cleared {
+		t.Fatal("Invalidate left the dial gate armed")
+	}
+}
+
+// recordingEndpoint timestamps every Send for retry-schedule asserts.
+type recordingEndpoint struct {
+	Endpoint
+	mu    sync.Mutex
+	times []time.Time
+}
+
+func (r *recordingEndpoint) Send(to string, msg Message) error {
+	r.mu.Lock()
+	r.times = append(r.times, time.Now())
+	r.mu.Unlock()
+	return r.Endpoint.Send(to, msg)
+}
+
+// TestReconnectBackoffUnderPartition runs the control-plane retry
+// discipline over a seeded FaultyNetwork partition on top of real
+// sockets: attempts are capped at retries+1 and exponentially spaced,
+// and the partition causes zero TCP dial attempts — no dial storm
+// behind the chaos layer. After Heal the same send goes through.
+func TestReconnectBackoffUnderPartition(t *testing.T) {
+	inner := NewTCPNetwork()
+	f := NewFaultyNetwork(inner, FaultyOptions{Seed: 7})
+	defer f.Close()
+	a, err := f.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Establish the persistent connection, then cut the link.
+	if err := a.Send("b", Message{Kind: "k", Payload: "pre", Size: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, b, 1, 2*time.Second); len(got) != 1 {
+		t.Fatal("pre-partition message lost")
+	}
+	f.Partition("a", "b")
+	dialsBefore := inner.DialAttempts()
+
+	rec := &recordingEndpoint{Endpoint: a}
+	base := 8 * time.Millisecond
+	attempts, err := ReliableSend(rec, "b", Message{Kind: "k", Payload: "cut", Size: 3}, 4, base)
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("send across partition: got %v, want ErrPartitioned", err)
+	}
+	if attempts != 5 {
+		t.Fatalf("attempts = %d, want exactly retries+1 = 5 (capped)", attempts)
+	}
+	rec.mu.Lock()
+	times := append([]time.Time(nil), rec.times...)
+	rec.mu.Unlock()
+	if len(times) != 5 {
+		t.Fatalf("recorded %d sends, want 5", len(times))
+	}
+	want := base
+	for i := 1; i < len(times); i++ {
+		if gap := times[i].Sub(times[i-1]); gap < want {
+			t.Fatalf("retry %d came %v after retry %d, want >= %v (exponential spacing)", i, gap, i-1, want)
+		}
+		want *= 2
+	}
+	if got := inner.DialAttempts(); got != dialsBefore {
+		t.Fatalf("partition caused %d TCP dial attempts, want 0", got-dialsBefore)
+	}
+
+	f.Heal("a", "b")
+	if _, err := ReliableSend(a, "b", Message{Kind: "k", Payload: "post", Size: 4}, 4, base); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+	if got := collect(t, b, 1, 2*time.Second); len(got) != 1 || got[0].Payload.(string) != "post" {
+		t.Fatalf("post-heal message lost: %v", got)
 	}
 }
