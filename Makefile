@@ -13,8 +13,8 @@ vet:
 # Project-specific static analysis (internal/lint via cmd/imrlint):
 # no sends under locks, paired trace spans, no silently dropped
 # transport/DFS errors, seeded determinism in the simulator, constant
-# metric/trace names. Exits non-zero on any finding; `-json` emits a
-# machine-readable report.
+# metric/trace names, no pooled-slab memory used after release. Exits
+# non-zero on any finding; `-json` emits a machine-readable report.
 lint:
 	$(GO) run ./cmd/imrlint ./...
 
@@ -47,9 +47,12 @@ bench:
 	$(GO) run ./cmd/imrbench -bench BENCH_core.json
 
 # One-iteration benchmark compile-and-run: catches bit-rot in every
-# benchmark without paying for steady-state timing.
+# benchmark without paying for steady-state timing. The alloc-budget
+# test then gates the pooled decode path: DecodePairsSlab must stay
+# within single-digit allocations per 4096-pair chunk.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/kv ./internal/graph ./internal/mapreduce ./internal/core
+	$(GO) test ./internal/kv -run TestDecodePairsAllocBudget -count=1 -timeout 2m
 
 # Traced quick run: records a real SSSP job, exports Chrome trace JSON,
 # validates it parses, and prints the factor decomposition.

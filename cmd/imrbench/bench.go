@@ -24,7 +24,10 @@ type benchFile struct {
 // plus full PageRank/SSSP jobs on both transports — and writes the
 // snapshot to path.
 func runBench(path string, cfg experiments.Config) error {
-	results := microBench()
+	results, err := microBench(cfg.ProfileDir)
+	if err != nil {
+		return err
+	}
 	engine, err := experiments.CoreBench(cfg, 2)
 	if err != nil {
 		return err
@@ -49,8 +52,8 @@ func runBench(path string, cfg experiments.Config) error {
 	}
 	for _, r := range results {
 		fmt.Printf("%-28s %12d ns/op", r.Name, r.NsPerOp)
-		if r.AllocsPerOp > 0 || r.BytesPerOp > 0 {
-			fmt.Printf(" %10d B/op %8d allocs/op", r.BytesPerOp, r.AllocsPerOp)
+		if r.AllocsPerOp != nil {
+			fmt.Printf(" %10d B/op %8d allocs/op", r.BytesPerOp, *r.AllocsPerOp)
 		}
 		if r.ShuffleBytes > 0 {
 			fmt.Printf(" %12d shuffle B", r.ShuffleBytes)
@@ -62,8 +65,11 @@ func runBench(path string, cfg experiments.Config) error {
 }
 
 // microBench times the kv hot paths (encode, decode, sort, group) on a
-// duplicate-heavy int64→float64 workload via testing.Benchmark.
-func microBench() []experiments.CoreBenchResult {
+// duplicate-heavy int64→float64 workload via testing.Benchmark. The
+// decode row measures the pooled slab path the engine actually runs;
+// decodePairsHeap keeps the old allocating decoder for comparison. When
+// profileDir is set each row also gets CPU and heap pprof dumps.
+func microBench(profileDir string) ([]experiments.CoreBenchResult, error) {
 	const n, keys = 4096, 512
 	ops := kv.OpsFor[int64, float64](func(float64) int { return 8 })
 	rng := rand.New(rand.NewSource(1))
@@ -76,46 +82,72 @@ func microBench() []experiments.CoreBenchResult {
 		panic("imrbench: builtin pairs must encode")
 	}
 
-	run := func(name string, fn func(b *testing.B)) experiments.CoreBenchResult {
+	var results []experiments.CoreBenchResult
+	run := func(name string, fn func(b *testing.B)) error {
+		stopProf, err := experiments.StartProfiles(profileDir, name)
+		if err != nil {
+			return err
+		}
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			fn(b)
 		})
-		return experiments.CoreBenchResult{
+		stopProf()
+		allocs := r.AllocsPerOp()
+		results = append(results, experiments.CoreBenchResult{
 			Name:        name,
 			NsPerOp:     r.NsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		}
+			AllocsPerOp: &allocs,
+		})
+		return nil
 	}
 
-	return []experiments.CoreBenchResult{
-		run("kv/encodePairs/n=4096", func(b *testing.B) {
+	rows := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"kv/encodePairs/n=4096", func(b *testing.B) {
 			var buf []byte
 			for i := 0; i < b.N; i++ {
 				buf, _ = kv.AppendPairs(buf[:0], src)
 			}
-		}),
-		run("kv/decodePairs/n=4096", func(b *testing.B) {
+		}},
+		{"kv/decodePairs/n=4096", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := kv.AcquireSlab()
+				if _, _, err := kv.DecodePairsSlab(enc, s); err != nil {
+					b.Fatal(err)
+				}
+				s.Release()
+			}
+		}},
+		{"kv/decodePairsHeap/n=4096", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := kv.DecodePairs(enc); err != nil {
 					b.Fatal(err)
 				}
 			}
-		}),
-		run("kv/sortPairs/n=4096", func(b *testing.B) {
+		}},
+		{"kv/sortPairs/n=4096", func(b *testing.B) {
 			work := make([]kv.Pair, n)
 			for i := 0; i < b.N; i++ {
 				copy(work, src)
 				ops.SortPairs(work)
 			}
-		}),
-		run("kv/groupPairs/n=4096", func(b *testing.B) {
+		}},
+		{"kv/groupPairs/n=4096", func(b *testing.B) {
 			work := make([]kv.Pair, n)
 			for i := 0; i < b.N; i++ {
 				copy(work, src)
 				kv.GroupPairs(work, ops)
 			}
-		}),
+		}},
 	}
+	for _, row := range rows {
+		if err := run(row.name, row.fn); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }

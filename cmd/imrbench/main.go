@@ -10,6 +10,7 @@
 //	imrbench -quick           # small/fast configuration
 //	imrbench -scale 50        # larger datasets (paper/50)
 //	imrbench -bench out.json  # data-plane benchmark snapshot (JSON)
+//	imrbench -bench out.json -pprof prof/  # plus CPU/heap profiles per scenario
 //	imrbench -trace out.json  # traced quick SSSP run, Chrome trace JSON
 package main
 
@@ -31,6 +32,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		csvDir  = flag.String("csv", "", "also write each figure's series as CSV into this directory")
 		bench   = flag.String("bench", "", "run the data-plane benchmark suite at the quick configuration and write results as JSON to this path")
+		pprofTo = flag.String("pprof", "", "with -bench: write per-scenario CPU and heap pprof profiles into this directory")
 		traceTo = flag.String("trace", "", "run a traced quick SSSP job, write Chrome trace_event JSON to this path, and print the factor decomposition")
 	)
 	flag.Parse()
@@ -50,6 +52,7 @@ func main() {
 		if *workers > 0 {
 			cfg.Workers = *workers
 		}
+		cfg.ProfileDir = *pprofTo
 		if err := runBench(*bench, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "imrbench:", err)
 			os.Exit(1)

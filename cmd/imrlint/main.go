@@ -3,8 +3,8 @@
 // finding. It is wired into `make lint` (and therefore `make ci`) so
 // the invariants the analyzers encode — no sends under locks, paired
 // trace spans, no silently dropped transport/DFS errors, seeded
-// determinism in the simulator, constant metric names — hold on every
-// change.
+// determinism in the simulator, constant metric names, no pooled-slab
+// memory retained past its release — hold on every change.
 //
 // Usage:
 //

@@ -57,6 +57,14 @@ type Options struct {
 	// Default 2ms.
 	CheckpointRetryBackoff time.Duration
 
+	// Parallelism bounds how many pair-loop shards one task may execute
+	// concurrently (the task goroutine plus Parallelism-1 run-scoped pool
+	// workers). 0 (the default) means runtime.GOMAXPROCS(0); 1 forces the
+	// serial path. Sharding preserves output order exactly — shards are
+	// contiguous ranges merged in order — so results are identical to the
+	// serial execution for any value.
+	Parallelism int
+
 	// Trace receives the run's structured events: task lifecycle,
 	// per-iteration spans per task pair, transport retries. nil (the
 	// default) disables tracing; every emission site is behind a nil
@@ -272,6 +280,10 @@ type runState struct {
 	auxTasks   int
 	outputPath string
 
+	// pool is the run-scoped worker pool tasks shard their pair loops
+	// across; closed (and joined) at run teardown.
+	pool *workerPool
+
 	mu         sync.RWMutex
 	pairWorker []string // main task pairs
 	auxWorker  []string
@@ -425,6 +437,7 @@ func (e *Engine) runCtx(ctx context.Context, job *Job, resume bool) (*Result, er
 		mainTasks:  n,
 		auxTasks:   auxN,
 		outputPath: job.OutputPath,
+		pool:       newWorkerPool(e.opts.Parallelism),
 		pairWorker: make([]string, n),
 		auxWorker:  make([]string, auxN),
 	}
@@ -470,6 +483,20 @@ func (e *Engine) runCtx(ctx context.Context, job *Job, resume bool) (*Result, er
 	}
 
 	e.m.Add(metrics.JobsLaunched, 1)
+
+	// Register every task endpoint and start dialing the connection mesh
+	// now, so the TCP dial+handshake round trips overlap the scheduling
+	// overhead the job sleeps off next and the static/state partitioning
+	// after it, instead of competing with the first iteration.
+	spawned := false
+	if e.rc == nil {
+		unwarm := e.prewarmNet(job, phases, n, auxN)
+		defer func() {
+			if !spawned {
+				unwarm()
+			}
+		}()
+	}
 
 	// The one job submission and the one round of persistent-task
 	// launches pay the scheduling overheads exactly once (§3.1.1).
@@ -528,6 +555,7 @@ func (e *Engine) runCtx(ctx context.Context, job *Job, resume bool) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	spawned = true
 	var runErr error
 	defer func() {
 		if e.rc != nil {
@@ -552,8 +580,13 @@ func (e *Engine) runCtx(ctx context.Context, job *Job, resume bool) (*Result, er
 		// hold a task wedged inside a user function (that is how silence
 		// timeouts arise), so the error path waits only a short grace
 		// before abandoning the stragglers, as the engine always has.
+		// The pair-loop pool stops first: a straggler that still submits
+		// shards just runs them inline (runShards never blocks on the
+		// pool), and its workers are joined after the tasks so no
+		// run-owned goroutine survives a clean return.
+		run.pool.close()
 		joined := make(chan struct{})
-		go func() { tasks.wg.Wait(); close(joined) }()
+		go func() { tasks.wg.Wait(); run.pool.join(); close(joined) }()
 		if runErr == nil {
 			<-joined
 			return
@@ -661,6 +694,70 @@ type taskSet struct {
 	auxByPair [][]string
 }
 
+// prewarmNet registers the master and every task endpoint up front and
+// starts dialing the static connection mesh: master ↔ every task, each
+// map to every reduce of its phase, and each reduce to its paired map
+// of the next phase. OneToAll extras are warmed later by spawnTasks;
+// warming is best-effort either way (a miss just means the first send
+// dials inline). It returns a closer for the error path where the run
+// dies before spawnTasks takes ownership of the endpoints.
+func (e *Engine) prewarmNet(job *Job, phases []*Job, n, auxN int) func() {
+	var eps []transport.Endpoint
+	get := func(addr string) transport.Endpoint {
+		ep, err := e.net.Endpoint(addr)
+		if err != nil {
+			return nil
+		}
+		eps = append(eps, ep)
+		return ep
+	}
+	type pair struct{ mep, rep transport.Endpoint }
+	master := get(masterAddr(job.Name))
+	counts := make([]int, 0, len(phases)+1)
+	for range phases {
+		counts = append(counts, n)
+	}
+	if auxN > 0 {
+		counts = append(counts, auxN)
+	}
+	mesh := make([][]pair, len(counts))
+	for p, c := range counts {
+		mesh[p] = make([]pair, c)
+		for i := 0; i < c; i++ {
+			mesh[p][i] = pair{get(mapAddr(job.Name, p, i)), get(redAddr(job.Name, p, i))}
+		}
+	}
+	// Every endpoint exists now, so none of these dials can fail on an
+	// unknown peer; fire them all and let them overlap.
+	mAddr := masterAddr(job.Name)
+	for p, c := range counts {
+		reds := make([]string, c)
+		for j := 0; j < c; j++ {
+			reds[j] = redAddr(job.Name, p, j)
+		}
+		for i := 0; i < c; i++ {
+			if master != nil {
+				transport.Preconnect(master, mapAddr(job.Name, p, i), redAddr(job.Name, p, i))
+			}
+			if mep := mesh[p][i].mep; mep != nil {
+				transport.Preconnect(mep, append([]string{mAddr}, reds...)...)
+			}
+			if rep := mesh[p][i].rep; rep != nil {
+				peers := []string{mAddr}
+				if p < len(phases) {
+					peers = append(peers, mapAddr(job.Name, (p+1)%len(phases), i))
+				}
+				transport.Preconnect(rep, peers...)
+			}
+		}
+	}
+	return func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}
+}
+
 // spawnTasks creates the master endpoint and all persistent map/reduce
 // task goroutines with their routing wired up.
 func (e *Engine) spawnTasks(job *Job, phases []*Job, aux *Job, run *runState, n, auxN int) (transport.Endpoint, *taskSet, error) {
@@ -670,6 +767,14 @@ func (e *Engine) spawnTasks(job *Job, phases []*Job, aux *Job, run *runState, n,
 	}
 	ts := buildTaskSet(job.Name, len(phases), n, auxN)
 	f := &taskFactory{e: e, job: job, phases: phases, aux: aux, run: run, n: n, auxN: auxN}
+
+	// Deferred connection warming: every task's peer set is known here,
+	// but the peer endpoints only exist once the spawn loops finish, so
+	// the Preconnect calls are collected and fired at the end. On the TCP
+	// transport this overlaps the dial+handshake round trips of the whole
+	// mesh with the first iteration's load/compute instead of paying them
+	// one by one inside the tasks' first send loops.
+	var warm []func()
 
 	spawnPair := func(phase, idx int, isAux bool) error {
 		mep, err := e.net.Endpoint(mapAddr(job.Name, phase, idx))
@@ -685,6 +790,11 @@ func (e *Engine) spawnTasks(job *Job, phases []*Job, aux *Job, run *runState, n,
 			return err
 		}
 		rt := f.buildReduceTask(phase, idx, rep)
+		warm = append(warm, func() {
+			transport.Preconnect(mep, append([]string{masterAddr(job.Name)}, mt.redAddrs...)...)
+			rtPeers := append([]string{masterAddr(job.Name)}, rt.targetAddrs...)
+			transport.Preconnect(rep, append(rtPeers, rt.auxAddrs...)...)
+		})
 		worker, taskIdx, ph := run.pairWorker[idx], idx, fmt.Sprint(phase)
 		if isAux {
 			worker, taskIdx, ph = run.auxWorker[idx], n+idx, "aux"
@@ -709,6 +819,10 @@ func (e *Engine) spawnTasks(job *Job, phases []*Job, aux *Job, run *runState, n,
 		if err := spawnPair(len(phases), i, true); err != nil {
 			return nil, nil, err
 		}
+	}
+	transport.Preconnect(master, ts.all...)
+	for _, w := range warm {
+		w()
 	}
 	return master, ts, nil
 }

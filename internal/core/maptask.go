@@ -238,6 +238,10 @@ func (t *mapTask) selfLoad(cmd cmdMsg) {
 
 // handleState ingests one chunk of iterated state.
 func (t *mapTask) handleState(c stateChunk) {
+	// This handler owns the chunk's decode arena: c.Pairs is only read
+	// within this call (streamed straight into process, or copied into
+	// the accumulator), so the arena goes back to the pool on return.
+	defer c.release()
 	if c.Gen != t.gen || c.Iter < t.iter {
 		return // stale: pre-rollback traffic
 	}
@@ -300,37 +304,109 @@ func (t *mapTask) tryComplete() {
 
 // process joins state records with this task's static records and runs
 // the user map, partitioning emitted pairs toward the phase's reduces.
+// Large inputs shard across the run's worker pool; the merged output is
+// identical to the serial loop's (contiguous shards, merged in order).
 func (t *mapTask) process(iter int, pairs []kv.Pair) {
 	start := time.Now()
-	em := t.emitFn(iter)
+	if shards := t.run.pool.shardsFor(len(pairs)); shards > 1 {
+		err := t.runSharded(iter, shards, len(pairs), func(lo, hi int, em kv.Emit) error {
+			return t.mapRange(pairs[lo:hi], em)
+		})
+		if err != nil {
+			t.fatal(err)
+			return
+		}
+	} else if err := t.mapRange(pairs, t.emitFn(iter)); err != nil {
+		t.fatal(err)
+		return
+	}
+	t.e.stretch(t.worker, time.Since(start))
+	t.e.opts.Trace.RecordSpan(trace.SpanMap, t.worker, t.tid(), iter, start, time.Since(start))
+}
+
+// mapRange runs the user map over one range of state pairs.
+func (t *mapTask) mapRange(pairs []kv.Pair, em kv.Emit) error {
 	for _, p := range pairs {
 		var static any
 		if t.staticIdx != nil {
 			static = t.staticIdx[p.Key]
 		}
 		if err := t.job.Map(p.Key, p.Value, static, em); err != nil {
-			t.fatal(fmt.Errorf("map %d/%d key %v: %w", t.phase, t.idx, p.Key, err))
+			return fmt.Errorf("map %d/%d key %v: %w", t.phase, t.idx, p.Key, err)
+		}
+	}
+	return nil
+}
+
+// processBroadcast runs the user map once per static record with the
+// complete state list (OneToAll); large static sets shard like process.
+func (t *mapTask) processBroadcast(iter int, statePairs []kv.Pair) {
+	start := time.Now()
+	t.job.Ops.SortPairs(statePairs) // deterministic state order across runs
+	if shards := t.run.pool.shardsFor(len(t.staticPairs)); shards > 1 {
+		err := t.runSharded(iter, shards, len(t.staticPairs), func(lo, hi int, em kv.Emit) error {
+			return t.broadcastRange(t.staticPairs[lo:hi], statePairs, em)
+		})
+		if err != nil {
+			t.fatal(err)
 			return
 		}
+	} else if err := t.broadcastRange(t.staticPairs, statePairs, t.emitFn(iter)); err != nil {
+		t.fatal(err)
+		return
 	}
 	t.e.stretch(t.worker, time.Since(start))
 	t.e.opts.Trace.RecordSpan(trace.SpanMap, t.worker, t.tid(), iter, start, time.Since(start))
 }
 
-// processBroadcast runs the user map once per static record with the
-// complete state list (OneToAll).
-func (t *mapTask) processBroadcast(iter int, statePairs []kv.Pair) {
-	start := time.Now()
-	t.job.Ops.SortPairs(statePairs) // deterministic state order across runs
-	em := t.emitFn(iter)
-	for _, sp := range t.staticPairs {
+// broadcastRange runs the user map over one range of static pairs with
+// the full state list.
+func (t *mapTask) broadcastRange(static, statePairs []kv.Pair, em kv.Emit) error {
+	for _, sp := range static {
 		if err := t.job.Map(sp.Key, statePairs, sp.Value, em); err != nil {
-			t.fatal(fmt.Errorf("map %d/%d key %v: %w", t.phase, t.idx, sp.Key, err))
-			return
+			return fmt.Errorf("map %d/%d key %v: %w", t.phase, t.idx, sp.Key, err)
 		}
 	}
-	t.e.stretch(t.worker, time.Since(start))
-	t.e.opts.Trace.RecordSpan(trace.SpanMap, t.worker, t.tid(), iter, start, time.Since(start))
+	return nil
+}
+
+// runSharded splits an n-record map loop into contiguous shards run on
+// the pool, each emitting into its own buffers, then merges the shards'
+// output in order through the regular buffered send path — so chunk
+// contents and boundaries are exactly the serial loop's. The user map
+// must be safe to call concurrently (Options.Parallelism).
+func (t *mapTask) runSharded(iter, shards, n int, body func(lo, hi int, em kv.Emit) error) error {
+	se := newShardedEmits(shards, t.numReduce)
+	errs := make([]error, shards)
+	part := func(k any) int { return t.job.Ops.Partition(k, t.numReduce) }
+	t.run.pool.runShards(shards, func(sh int) {
+		lo, hi := shardRange(n, shards, sh)
+		errs[sh] = body(lo, hi, se.emit(sh, part))
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for r := 0; r < t.numReduce; r++ {
+		se.forPartition(r, func(ps []kv.Pair) {
+			for len(ps) > 0 {
+				if t.outBuf[r] == nil {
+					t.outBuf[r] = make([]kv.Pair, 0, t.bufThresh)
+				}
+				take := t.bufThresh - len(t.outBuf[r])
+				if take > len(ps) {
+					take = len(ps)
+				}
+				t.outBuf[r] = append(t.outBuf[r], ps[:take]...)
+				ps = ps[take:]
+				if len(t.outBuf[r]) >= t.bufThresh {
+					t.sendShuffle(iter, r, false)
+				}
+			}
+		})
+	}
+	return nil
 }
 
 // emitFn returns the emit callback for one iteration's map output: pairs

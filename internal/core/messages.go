@@ -41,6 +41,22 @@ type stateChunk struct {
 	Seq   int64
 	Pairs []kv.Pair
 	End   bool
+
+	// slab is the decode arena Pairs was carved from when the chunk came
+	// off the binary wire path (nil for locally-built and gob-decoded
+	// chunks). Unexported, so gob and the wire encoding never see it.
+	// The receiving handler owns the chunk and must release() it.
+	slab *kv.Slab
+}
+
+// release recycles the chunk's decode arena, if any. Pairs (and any
+// slices of it) must not be used afterwards; boxed keys and values that
+// escaped into accumulators stay valid (ReleaseRetainValues). Handlers
+// call this exactly once, via defer, when they are done with Pairs.
+func (c stateChunk) release() {
+	if c.slab != nil {
+		c.slab.ReleaseRetainValues()
+	}
 }
 
 // shuffleChunk carries map output to a reduce task of the same phase.
@@ -52,6 +68,16 @@ type shuffleChunk struct {
 	Seq     int64
 	Pairs   []kv.Pair
 	End     bool
+
+	// slab: see stateChunk.slab.
+	slab *kv.Slab
+}
+
+// release: see stateChunk.release.
+func (c shuffleChunk) release() {
+	if c.slab != nil {
+		c.slab.ReleaseRetainValues()
+	}
 }
 
 // reportMsg is the per-iteration completion report each termination-
@@ -226,11 +252,13 @@ func decodeStateChunk(data []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	pairs, _, err := kv.DecodePairs(data[n:])
+	s := kv.AcquireSlab()
+	pairs, _, err := kv.DecodePairsSlab(data[n:], s)
 	if err != nil {
+		s.Release()
 		return nil, err
 	}
-	return stateChunk{Gen: gen, Iter: iter, From: from, Seq: seq, Pairs: pairs, End: end}, nil
+	return stateChunk{Gen: gen, Iter: iter, From: from, Seq: seq, Pairs: pairs, End: end, slab: s}, nil
 }
 
 func decodeShuffleChunk(data []byte) (any, error) {
@@ -238,11 +266,13 @@ func decodeShuffleChunk(data []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	pairs, _, err := kv.DecodePairs(data[n:])
+	s := kv.AcquireSlab()
+	pairs, _, err := kv.DecodePairsSlab(data[n:], s)
 	if err != nil {
+		s.Release()
 		return nil, err
 	}
-	return shuffleChunk{Gen: gen, Iter: iter, FromMap: from, Seq: seq, Pairs: pairs, End: end}, nil
+	return shuffleChunk{Gen: gen, Iter: iter, FromMap: from, Seq: seq, Pairs: pairs, End: end, slab: s}, nil
 }
 
 func init() {

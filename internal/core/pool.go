@@ -1,0 +1,157 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"imapreduce/internal/kv"
+)
+
+// Intra-task parallelism (perf round 2): a run-scoped pool of worker
+// goroutines that map and reduce tasks use to shard their pair loops.
+// The task goroutine itself always executes shard 0, so a pool with no
+// free workers degrades to the serial path instead of queueing — the
+// pool only ever *adds* concurrency, never latency.
+//
+// Sharding thresholds: tiny chunks are not worth the handoff. A pair
+// loop is sharded only when it has at least parallelMinPairs records,
+// and each shard gets at least parallelShardPairs of them.
+const (
+	parallelMinPairs   = 256
+	parallelShardPairs = 128
+)
+
+// workerPool runs closures on a fixed set of goroutines. Dispatch is
+// strictly non-blocking: submit hands the closure to an idle worker or
+// reports false so the caller runs it inline. close is idempotent and
+// only stops workers; closures already accepted still complete (their
+// completion is the caller's WaitGroup, not the pool's).
+type workerPool struct {
+	fns  chan func()
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+	n    int // target shard-count ceiling (Options.Parallelism)
+}
+
+// newWorkerPool starts parallelism-1 workers (the task goroutine is the
+// remaining lane). parallelism <= 0 means runtime.GOMAXPROCS(0); a pool
+// with parallelism 1 starts no goroutines and shards nothing.
+func newWorkerPool(parallelism int) *workerPool {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	p := &workerPool{
+		fns:  make(chan func()),
+		done: make(chan struct{}),
+		n:    parallelism,
+	}
+	for i := 1; i < parallelism; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case fn := <-p.fns:
+					fn()
+				case <-p.done:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// close stops the workers. Safe to call more than once and while tasks
+// still submit: fns is unbuffered and never closed, so a straggler's
+// submit simply finds no receiver and runs inline.
+func (p *workerPool) close() {
+	p.once.Do(func() { close(p.done) })
+}
+
+// join waits for the worker goroutines to exit; call after close.
+func (p *workerPool) join() { p.wg.Wait() }
+
+// shardsFor returns how many shards an n-pair loop should split into:
+// 1 (serial) unless the loop is big enough, then at most p.n and at
+// least parallelShardPairs pairs per shard.
+func (p *workerPool) shardsFor(n int) int {
+	if p == nil || p.n < 2 || n < parallelMinPairs {
+		return 1
+	}
+	shards := n / parallelShardPairs
+	if shards > p.n {
+		shards = p.n
+	}
+	if shards < 2 {
+		return 1
+	}
+	return shards
+}
+
+// shardRange returns the half-open pair range of shard i out of shards —
+// contiguous, in order, covering [0, n) exactly.
+func shardRange(n, shards, i int) (lo, hi int) {
+	return i * n / shards, (i + 1) * n / shards
+}
+
+// runShards executes fn(shard) for every shard in [0, shards). Shards
+// 1..shards-1 are offered to idle pool workers (inline when none is
+// free); the calling task goroutine runs shard 0 and waits for the
+// rest. fn must not touch task state that other shards write — each
+// shard accumulates into its own slot and the caller merges.
+func (p *workerPool) runShards(shards int, fn func(shard int)) {
+	if shards < 2 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for i := 1; i < shards; i++ {
+		i := i
+		job := func() {
+			defer wg.Done()
+			fn(i)
+		}
+		select {
+		case p.fns <- job:
+		default:
+			job() // no idle worker: run in the caller's lane
+		}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// shardedEmits collects one emit buffer per (shard, reduce partition):
+// workers append into their own shard's row, the task goroutine merges
+// rows in shard order so the merged stream is byte-identical to the
+// serial loop's.
+type shardedEmits struct {
+	bufs [][]kv.Pair // [shard][partition-interleaved] — see emit
+	nred int
+}
+
+func newShardedEmits(shards, nred int) *shardedEmits {
+	return &shardedEmits{bufs: make([][]kv.Pair, shards*nred), nred: nred}
+}
+
+// emit returns the kv.Emit for one shard; partition fn is the job's.
+func (se *shardedEmits) emit(shard int, partition func(k any) int) kv.Emit {
+	base := shard * se.nred
+	return func(k, v any) {
+		r := partition(k)
+		se.bufs[base+r] = append(se.bufs[base+r], kv.Pair{Key: k, Value: v})
+	}
+}
+
+// forPartition calls visit over every shard's buffer for reduce
+// partition r, in shard order.
+func (se *shardedEmits) forPartition(r int, visit func(ps []kv.Pair)) {
+	for s := 0; s*se.nred < len(se.bufs); s++ {
+		if ps := se.bufs[s*se.nred+r]; len(ps) > 0 {
+			visit(ps)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+var errBoom = errors.New("boom")
+
+func TestShardRangeCoversExactly(t *testing.T) {
+	for _, n := range []int{1, 2, 127, 128, 256, 257, 1000, 4096} {
+		for shards := 1; shards <= 7; shards++ {
+			prev := 0
+			for i := 0; i < shards; i++ {
+				lo, hi := shardRange(n, shards, i)
+				if lo != prev || hi < lo {
+					t.Fatalf("n=%d shards=%d shard %d: range [%d,%d) after %d", n, shards, i, lo, hi, prev)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d shards=%d: ranges cover %d", n, shards, prev)
+			}
+		}
+	}
+}
+
+func TestShardsForThresholds(t *testing.T) {
+	p := newWorkerPool(4)
+	defer func() { p.close(); p.join() }()
+	if got := p.shardsFor(parallelMinPairs - 1); got != 1 {
+		t.Fatalf("below min: %d shards", got)
+	}
+	if got := p.shardsFor(parallelMinPairs); got < 2 {
+		t.Fatalf("at min: %d shards", got)
+	}
+	if got := p.shardsFor(1 << 20); got != 4 {
+		t.Fatalf("huge input: %d shards, want parallelism cap 4", got)
+	}
+	var nilPool *workerPool
+	if got := nilPool.shardsFor(1 << 20); got != 1 {
+		t.Fatalf("nil pool: %d shards", got)
+	}
+	serial := newWorkerPool(1)
+	defer func() { serial.close(); serial.join() }()
+	if got := serial.shardsFor(1 << 20); got != 1 {
+		t.Fatalf("parallelism 1: %d shards", got)
+	}
+}
+
+// TestRunShardsAfterClose pins the straggler contract: a task that
+// submits shards after run teardown closed the pool still executes every
+// shard (inline), rather than deadlocking or panicking.
+func TestRunShardsAfterClose(t *testing.T) {
+	p := newWorkerPool(4)
+	p.close()
+	p.join()
+	var ran atomic.Int64
+	p.runShards(4, func(int) { ran.Add(1) })
+	if ran.Load() != 4 {
+		t.Fatalf("ran %d shards after close, want 4", ran.Load())
+	}
+	p.close() // idempotent
+}
+
+func TestRunShardsExecutesEveryShardOnce(t *testing.T) {
+	p := newWorkerPool(4)
+	defer func() { p.close(); p.join() }()
+	for trial := 0; trial < 50; trial++ {
+		counts := make([]atomic.Int64, 8)
+		p.runShards(8, func(sh int) { counts[sh].Add(1) })
+		for sh := range counts {
+			if counts[sh].Load() != 1 {
+				t.Fatalf("trial %d: shard %d ran %d times", trial, sh, counts[sh].Load())
+			}
+		}
+	}
+}
+
+// TestParallelismMatchesSerial runs the same job serially and with
+// intra-task parallelism forced on, over inputs big enough to shard both
+// the map and the reduce loops, and requires identical results — the
+// ordering guarantee sharded execution promises.
+func TestParallelismMatchesSerial(t *testing.T) {
+	const n = 2000 // >> parallelMinPairs with NumTasks 1
+	run := func(parallelism int) (map[int64]any, int) {
+		v := newEnv(t, 2, Options{Parallelism: parallelism})
+		v.writeState(t, "/state", n)
+		job := halvingJob("par-eq", 4, 0)
+		job.NumTasks = 1
+		res, err := v.e.Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.readOutput(t, res.OutputPath), res.Iterations
+	}
+	serialOut, serialIters := run(1)
+	parOut, parIters := run(4)
+	if serialIters != parIters {
+		t.Fatalf("iterations: serial %d, parallel %d", serialIters, parIters)
+	}
+	if len(serialOut) != n || !reflect.DeepEqual(serialOut, parOut) {
+		t.Fatalf("parallel output diverges from serial (%d vs %d records)", len(parOut), len(serialOut))
+	}
+	for k, val := range parOut {
+		if got := val.(float64); math.Abs(got-1.0/16) > 1e-12 {
+			t.Fatalf("key %d = %v, want 1/16", k, got)
+		}
+	}
+}
+
+// TestParallelReduceErrorSurfaces checks that a user reduce error from a
+// pool shard still aborts the run with the key in the message.
+func TestParallelReduceErrorSurfaces(t *testing.T) {
+	v := newEnv(t, 2, Options{Parallelism: 4})
+	v.writeState(t, "/state", 1000)
+	job := halvingJob("par-err", 4, 0)
+	job.NumTasks = 1
+	orig := job.Reduce
+	job.Reduce = func(key any, states []any) (any, error) {
+		if key.(int64) == 617 {
+			return nil, errBoom
+		}
+		return orig(key, states)
+	}
+	if _, err := v.e.Run(job); err == nil {
+		t.Fatal("run succeeded despite reduce error")
+	}
+}

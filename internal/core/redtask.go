@@ -197,6 +197,10 @@ func (t *reduceTask) rollback(cmd cmdMsg) {
 }
 
 func (t *reduceTask) handleShuffle(c shuffleChunk) {
+	// The chunk's pairs are copied into the accumulator below; the decode
+	// arena is recycled on return (boxed values stay valid — see
+	// stateChunk.release).
+	defer c.release()
 	if c.Gen != t.gen || c.Iter < t.iter {
 		return
 	}
@@ -259,13 +263,45 @@ func (t *reduceTask) finishIteration(iter int, pairs []kv.Pair) {
 	t.feedMain = !(t.isTermination && t.job.MaxIter > 0 && iter >= t.job.MaxIter)
 	groups := kv.GroupPairs(pairs, t.job.Ops)
 	t.e.opts.Trace.RecordSpan(trace.SpanSortGroup, t.worker, t.tid(), iter, start, time.Since(start))
+	// Large group sets run the user reduce across the pool first (the
+	// user function must be safe to call concurrently — see
+	// Options.Parallelism); distance, prev-state, and output streaming
+	// then apply serially in group order, so results and chunk boundaries
+	// are identical to the all-serial path.
+	var nvals []any
+	if shards := t.run.pool.shardsFor(len(groups)); shards > 1 {
+		nvals = make([]any, len(groups))
+		errs := make([]error, shards)
+		t.run.pool.runShards(shards, func(sh int) {
+			lo, hi := shardRange(len(groups), shards, sh)
+			for i := lo; i < hi; i++ {
+				ns, err := t.job.Reduce(groups[i].Key, groups[i].Values)
+				if err != nil {
+					errs[sh] = fmt.Errorf("reduce %d/%d key %v: %w", t.phase, t.idx, groups[i].Key, err)
+					return
+				}
+				nvals[i] = ns
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				t.fatal(err)
+				return
+			}
+		}
+	}
 	out := make([]kv.Pair, 0, len(groups))
 	var dist float64
-	for _, g := range groups {
-		ns, err := t.job.Reduce(g.Key, g.Values)
-		if err != nil {
-			t.fatal(fmt.Errorf("reduce %d/%d key %v: %w", t.phase, t.idx, g.Key, err))
-			return
+	for gi, g := range groups {
+		var ns any
+		if nvals != nil {
+			ns = nvals[gi]
+		} else {
+			var err error
+			if ns, err = t.job.Reduce(g.Key, g.Values); err != nil {
+				t.fatal(fmt.Errorf("reduce %d/%d key %v: %w", t.phase, t.idx, g.Key, err))
+				return
+			}
 		}
 		if t.isTermination {
 			if t.job.Distance != nil {

@@ -92,6 +92,7 @@ type workerTuning struct {
 	SendRetryBackoff       time.Duration
 	CheckpointRetries      int
 	CheckpointRetryBackoff time.Duration
+	Parallelism            int
 }
 
 // runMeta is the worker-side reconstruction recipe for runState.
@@ -389,6 +390,7 @@ func (e *Engine) spawnRemote(job *Job, phases []*Job, aux *Job, run *runState, n
 				SendRetryBackoff:       e.opts.SendRetryBackoff,
 				CheckpointRetries:      e.opts.CheckpointRetries,
 				CheckpointRetryBackoff: e.opts.CheckpointRetryBackoff,
+				Parallelism:            e.opts.Parallelism,
 			},
 			Run: runMeta{
 				Name:       run.name,

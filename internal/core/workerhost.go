@@ -330,6 +330,7 @@ func (w *WorkerHost) newRun(p planMsg) (*hostedRun, error) {
 		SendRetryBackoff:       p.Tuning.SendRetryBackoff,
 		CheckpointRetries:      p.Tuning.CheckpointRetries,
 		CheckpointRetryBackoff: p.Tuning.CheckpointRetryBackoff,
+		Parallelism:            p.Tuning.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -340,6 +341,7 @@ func (w *WorkerHost) newRun(p planMsg) (*hostedRun, error) {
 		mainTasks:  p.Run.MainTasks,
 		auxTasks:   p.Run.AuxTasks,
 		outputPath: p.Run.OutputPath,
+		pool:       newWorkerPool(p.Tuning.Parallelism),
 		pairWorker: make([]string, p.Run.MainTasks),
 		auxWorker:  make([]string, p.Run.AuxTasks),
 	}
@@ -402,8 +404,11 @@ func (w *WorkerHost) teardownRun() {
 	for _, ep := range r.eps {
 		ep.Close()
 	}
+	// Stop the pair-loop pool first (stragglers fall back to inline
+	// shards), then join tasks and pool workers together.
+	r.run.pool.close()
 	done := make(chan struct{})
-	go func() { r.wg.Wait(); close(done) }()
+	go func() { r.wg.Wait(); r.run.pool.join(); close(done) }()
 	select {
 	case <-done:
 	case <-time.After(2 * time.Second):

@@ -2,6 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"imapreduce/internal/algorithms/pagerank"
@@ -19,8 +24,11 @@ type CoreBenchResult struct {
 	NsPerOp int64 `json:"ns_per_op"`
 	// BytesPerOp is heap allocated per op (microbenchmarks only).
 	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
-	// AllocsPerOp is allocations per op (microbenchmarks only).
-	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// AllocsPerOp is allocations per op. Every microbenchmark row sets
+	// it — a pointer, so a genuine zero (the pooled decode path) still
+	// serializes instead of vanishing under omitempty; engine rows leave
+	// it nil.
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
 	// ShuffleBytes is the map→reduce data volume of one engine run.
 	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
 }
@@ -54,26 +62,66 @@ func CoreBench(cfg Config, reps int) ([]CoreBenchResult, error) {
 		for _, tr := range []string{"chan", "tcp"} {
 			c := cfg
 			c.Transport = tr
+			name := sc.name + "/" + tr
+			stopProf, err := StartProfiles(cfg.ProfileDir, name)
+			if err != nil {
+				return nil, err
+			}
 			best := time.Duration(0)
 			var shuffle int64
 			for r := 0; r < reps; r++ {
 				wall, sb, err := runCoreJob(c, g, sc.algo, sc.iters)
 				if err != nil {
-					return nil, fmt.Errorf("%s/%s: %w", sc.name, tr, err)
+					stopProf()
+					return nil, fmt.Errorf("%s: %w", name, err)
 				}
 				if best == 0 || wall < best {
 					best = wall
 				}
 				shuffle = sb
 			}
+			stopProf()
 			out = append(out, CoreBenchResult{
-				Name:         sc.name + "/" + tr,
+				Name:         name,
 				NsPerOp:      best.Nanoseconds(),
 				ShuffleBytes: shuffle,
 			})
 		}
 	}
 	return out, nil
+}
+
+// StartProfiles begins a CPU profile for one benchmark scenario and
+// returns a stop function that finishes it and dumps a heap profile
+// alongside — <dir>/<name>.cpu.pprof and <dir>/<name>.heap.pprof, with
+// "/" in names flattened. An empty dir makes both calls no-ops.
+func StartProfiles(dir, name string) (stop func(), err error) {
+	if dir == "" {
+		return func() {}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	base := filepath.Join(dir, strings.ReplaceAll(name, "/", "_"))
+	cf, err := os.Create(base + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cf.Close()
+		return nil, fmt.Errorf("experiments: cpu profile %s: %w", name, err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cf.Close()
+		hf, err := os.Create(base + ".heap.pprof")
+		if err != nil {
+			return
+		}
+		defer hf.Close()
+		runtime.GC() // settle the heap so the profile shows live data
+		_ = pprof.WriteHeapProfile(hf)
+	}, nil
 }
 
 // runCoreJob runs one asynchronous iMapReduce job on a fresh local

@@ -59,6 +59,10 @@ type Ops struct {
 	// fills both from the tagged codec registry (see wire.go).
 	EncodePairs func(buf []byte, ps []Pair) ([]byte, bool)
 	DecodePairs func(data []byte) ([]Pair, error)
+	// DecodePairsSlab is the arena variant of DecodePairs: the result and
+	// its boxed values live in s and follow s's release rules (see Slab).
+	// Optional; OpsFor fills it.
+	DecodePairsSlab func(data []byte, s *Slab) ([]Pair, error)
 	// sortStable is the concrete-key-type stable sort installed by OpsFor;
 	// it avoids the interface-compare indirection of Less/Compare.
 	sortStable func(ps []Pair)
@@ -196,6 +200,10 @@ func OpsFor[K cmp.Ordered, V any](valSize func(V) int) Ops {
 			ps, _, err := DecodePairs(data)
 			return ps, err
 		},
+		DecodePairsSlab: func(data []byte, s *Slab) ([]Pair, error) {
+			ps, _, err := DecodePairsSlab(data, s)
+			return ps, err
+		},
 		sortStable: func(ps []Pair) {
 			slices.SortStableFunc(ps, func(a, b Pair) int { return cmp.Compare(a.Key.(K), b.Key.(K)) })
 		},
@@ -218,6 +226,11 @@ type keyAt[K cmp.Ordered] struct {
 func groupTyped[K cmp.Ordered](pairs []Pair) []Group {
 	if len(pairs) == 0 {
 		return nil
+	}
+	if len(pairs) >= fewKeysMinPairs {
+		if gs, ok := groupFewKeys[K](pairs); ok {
+			return gs
+		}
 	}
 	ks := make([]keyAt[K], len(pairs))
 	for i, p := range pairs {
@@ -257,6 +270,76 @@ func groupTyped[K cmp.Ordered](pairs []Pair) []Group {
 		}
 	}
 	return groups
+}
+
+// Few-keys grouping thresholds: the probe path wins when many pairs
+// collapse onto few distinct keys (combiner chunks, per-node PageRank
+// contributions), where the sort path's n·log n comparisons dwarf one
+// hash probe per pair. Past the distinct cap the probe's map grows and
+// the advantage inverts, so it bails to the sort.
+const (
+	fewKeysMinPairs    = 512
+	fewKeysMaxDistinct = 128
+)
+
+// groupFewKeys groups by single-pass hash probe. ok=false means the
+// input has more than fewKeysMaxDistinct distinct keys and the caller
+// should take the sort path. Output is identical to the sort path:
+// groups ordered by key, values in arrival order, Group.Key reusing the
+// first-seen boxed key.
+func groupFewKeys[K cmp.Ordered](pairs []Pair) ([]Group, bool) {
+	type keyMeta struct {
+		key   K
+		first int32 // index of the first pair holding this key
+		count int32
+	}
+	idx := make(map[K]int32, fewKeysMaxDistinct)
+	metas := make([]keyMeta, 0, fewKeysMaxDistinct)
+	groupOf := make([]int32, len(pairs))
+	for i, p := range pairs {
+		k := p.Key.(K)
+		g, ok := idx[k]
+		if !ok {
+			if len(metas) == fewKeysMaxDistinct {
+				return nil, false
+			}
+			g = int32(len(metas))
+			idx[k] = g
+			metas = append(metas, keyMeta{key: k, first: int32(i)})
+		}
+		metas[g].count++
+		groupOf[i] = g
+	}
+	// Order the (few) groups by key, prefix-sum their value offsets, and
+	// fill the shared values array positionally — no comparison touches
+	// the n pairs again.
+	order := make([]int32, len(metas))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(a, b int32) int { return cmp.Compare(metas[a].key, metas[b].key) })
+	rank := make([]int32, len(metas))   // group id → sorted position
+	offs := make([]int32, len(metas)+1) // sorted position → values offset
+	for pos, g := range order {
+		rank[g] = int32(pos)
+		offs[pos+1] = metas[g].count
+	}
+	for pos := range metas {
+		offs[pos+1] += offs[pos]
+	}
+	fill := make([]int32, len(metas))
+	copy(fill, offs[:len(metas)])
+	vals := make([]any, len(pairs))
+	for i, p := range pairs {
+		pos := rank[groupOf[i]]
+		vals[fill[pos]] = p.Value
+		fill[pos]++
+	}
+	groups := make([]Group, len(metas))
+	for pos, g := range order {
+		groups[pos] = Group{Key: pairs[metas[g].first].Key, Values: vals[offs[pos]:offs[pos+1]:offs[pos+1]]}
+	}
+	return groups, true
 }
 
 // Sized lets value types report their own serialized size to the byte

@@ -1,0 +1,8 @@
+//go:build race
+
+package kv
+
+// raceDetectorEnabled reports whether the race detector is compiled in;
+// allocation-budget assertions are skipped under it because its
+// instrumentation allocates on paths that are allocation-free otherwise.
+const raceDetectorEnabled = true

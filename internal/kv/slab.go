@@ -1,0 +1,262 @@
+package kv
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// Slab is a reusable decode arena. DecodePairsSlab carves its []Pair
+// result out of a pooled block instead of allocating one per chunk, and
+// boxes every scalar key/value into arena cells instead of one heap
+// allocation per value — the 1.5-allocs-per-pair cost that dominated
+// the receive path. Strings are interned into a byte arena.
+//
+// Ownership protocol (mirrors the sendShuffle buffer-ownership rule):
+// the caller that acquired the slab owns everything decoded through it
+// until it releases the slab, and must release it exactly once.
+//
+//   - Release recycles every block. All pairs AND all boxed values
+//     decoded through the slab become invalid — the next decode
+//     overwrites them in place. Only for callers with strictly bounded
+//     lifetimes (benchmarks, tests, decode-verify-discard loops).
+//
+//   - ReleaseRetainValues recycles only the []Pair backing and detaches
+//     the value arenas to the garbage collector. The pair slices become
+//     invalid, but boxed keys and values stay valid forever — the mode
+//     the engine uses, because decoded values escape into accumulators,
+//     user reduce state, and re-emitted pairs.
+//
+// A Slab is not safe for concurrent use; the pool it comes from is.
+type Slab struct {
+	pairs []Pair   // current []Pair block; takePairs carves from it
+	words []uint64 // scalar cell arena (one 8-byte cell per boxed scalar)
+	strs  []string // string header arena
+	bts   []byte   // string byte arena
+
+	np, nw, ns, nb int // used prefix of each block
+
+	released bool
+}
+
+// Arena block sizing: grown geometrically, never shrunk while attached.
+const (
+	minPairBlock = 512
+	minWordBlock = 1024
+	minStrBlock  = 256
+	minByteBlock = 4096
+)
+
+var slabPool = sync.Pool{New: func() any { return new(Slab) }}
+
+// AcquireSlab returns a decode arena from the shared pool. Pair it with
+// exactly one Release or ReleaseRetainValues.
+func AcquireSlab() *Slab {
+	s := slabPool.Get().(*Slab)
+	s.released = false
+	return s
+}
+
+// Release recycles the slab and every block it owns. Everything decoded
+// through it — pair slices and boxed values alike — is invalid from
+// this point on.
+func (s *Slab) Release() {
+	s.recycle(false)
+}
+
+// ReleaseRetainValues recycles the slab's []Pair backing but hands the
+// value arenas to the garbage collector, so boxed keys and values that
+// escaped into longer-lived structures stay valid indefinitely. The
+// decoded pair slices themselves must not be used again.
+func (s *Slab) ReleaseRetainValues() {
+	s.recycle(true)
+}
+
+func (s *Slab) recycle(retainValues bool) {
+	if s.released {
+		panic("kv: slab released twice")
+	}
+	s.released = true
+	// Drop the pair entries' references into the value arenas: the pair
+	// block is about to be reused and must not pin retired arenas (or,
+	// in the retain-values case, the detached ones) beyond this point.
+	clear(s.pairs[:s.np])
+	if retainValues {
+		s.words, s.strs, s.bts = nil, nil, nil
+	}
+	s.np, s.nw, s.ns, s.nb = 0, 0, 0, 0
+	slabPool.Put(s)
+}
+
+// emptyPairs keeps zero-count decodes identical to DecodePairs, which
+// returns an empty, non-nil slice.
+var emptyPairs = make([]Pair, 0)
+
+// takePairs returns a zeroed, full-capacity []Pair of length n carved
+// from the pair block.
+func (s *Slab) takePairs(n int) []Pair {
+	if n == 0 {
+		return emptyPairs
+	}
+	if len(s.pairs)-s.np < n {
+		c := 2 * len(s.pairs)
+		if c < minPairBlock {
+			c = minPairBlock
+		}
+		if c < n {
+			c = n
+		}
+		s.pairs, s.np = make([]Pair, c), 0
+	}
+	out := s.pairs[s.np : s.np+n : s.np+n]
+	s.np += n
+	return out
+}
+
+// word returns the next free 8-byte scalar cell.
+func (s *Slab) word() *uint64 {
+	if s.nw == len(s.words) {
+		c := 2 * len(s.words)
+		if c < minWordBlock {
+			c = minWordBlock
+		}
+		s.words, s.nw = make([]uint64, c), 0
+	}
+	p := &s.words[s.nw]
+	s.nw++
+	return p
+}
+
+// strCell returns the next free string header cell.
+func (s *Slab) strCell() *string {
+	if s.ns == len(s.strs) {
+		c := 2 * len(s.strs)
+		if c < minStrBlock {
+			c = minStrBlock
+		}
+		s.strs, s.ns = make([]string, c), 0
+	}
+	p := &s.strs[s.ns]
+	s.ns++
+	return p
+}
+
+// internBytes copies src into the byte arena and returns it as a string
+// aliasing arena memory.
+func (s *Slab) internBytes(src []byte) string {
+	if len(src) == 0 {
+		return ""
+	}
+	if len(s.bts)-s.nb < len(src) {
+		c := 2 * len(s.bts)
+		if c < minByteBlock {
+			c = minByteBlock
+		}
+		if c < len(src) {
+			c = len(src)
+		}
+		s.bts, s.nb = make([]byte, c), 0
+	}
+	dst := s.bts[s.nb : s.nb+len(src)]
+	copy(dst, src)
+	s.nb += len(src)
+	return unsafe.String(&dst[0], len(dst))
+}
+
+// Interface boxing without per-value heap allocation: an eface is a
+// (type, data) pointer pair, so pointing data at an arena cell that
+// already holds the value produces the same interface value the
+// compiler's implicit boxing would, minus the allocation. The type
+// words are captured once from ordinarily-boxed samples.
+type eface struct {
+	typ, data unsafe.Pointer
+}
+
+func typePtrOf(v any) unsafe.Pointer { return (*eface)(unsafe.Pointer(&v)).typ }
+
+var (
+	typBool    = typePtrOf(false)
+	typInt     = typePtrOf(int(0))
+	typInt32   = typePtrOf(int32(0))
+	typInt64   = typePtrOf(int64(0))
+	typUint64  = typePtrOf(uint64(0))
+	typFloat32 = typePtrOf(float32(0))
+	typFloat64 = typePtrOf(float64(0))
+	typString  = typePtrOf("")
+)
+
+// boxAt builds the interface value whose type word is typ and whose
+// data word points at data. data must point at memory holding a value
+// of exactly that type.
+func boxAt(typ, data unsafe.Pointer) (v any) {
+	e := (*eface)(unsafe.Pointer(&v))
+	e.typ = typ
+	e.data = data
+	return
+}
+
+// Box helpers, exported so custom ValueCodec.DecodeSlab implementations
+// compose from the same cells the builtin decodings use. Each boxed
+// value consumes one arena cell and follows the slab's release rules.
+
+// BoxBool boxes v in arena memory.
+func (s *Slab) BoxBool(v bool) any {
+	p := s.word()
+	*(*bool)(unsafe.Pointer(p)) = v
+	return boxAt(typBool, unsafe.Pointer(p))
+}
+
+// BoxInt boxes v in arena memory.
+func (s *Slab) BoxInt(v int) any {
+	p := s.word()
+	*(*int)(unsafe.Pointer(p)) = v
+	return boxAt(typInt, unsafe.Pointer(p))
+}
+
+// BoxInt32 boxes v in arena memory.
+func (s *Slab) BoxInt32(v int32) any {
+	p := s.word()
+	*(*int32)(unsafe.Pointer(p)) = v
+	return boxAt(typInt32, unsafe.Pointer(p))
+}
+
+// BoxInt64 boxes v in arena memory.
+func (s *Slab) BoxInt64(v int64) any {
+	p := s.word()
+	*(*int64)(unsafe.Pointer(p)) = v
+	return boxAt(typInt64, unsafe.Pointer(p))
+}
+
+// BoxUint64 boxes v in arena memory.
+func (s *Slab) BoxUint64(v uint64) any {
+	p := s.word()
+	*p = v
+	return boxAt(typUint64, unsafe.Pointer(p))
+}
+
+// BoxFloat32 boxes v in arena memory.
+func (s *Slab) BoxFloat32(v float32) any {
+	p := s.word()
+	*(*float32)(unsafe.Pointer(p)) = v
+	return boxAt(typFloat32, unsafe.Pointer(p))
+}
+
+// BoxFloat64 boxes v in arena memory.
+func (s *Slab) BoxFloat64(v float64) any {
+	p := s.word()
+	*(*float64)(unsafe.Pointer(p)) = v
+	return boxAt(typFloat64, unsafe.Pointer(p))
+}
+
+// BoxString copies v's bytes into the byte arena and boxes the interned
+// string in a header cell.
+func (s *Slab) BoxString(v string) any {
+	return s.BoxStringBytes(unsafe.Slice(unsafe.StringData(v), len(v)))
+}
+
+// BoxStringBytes interns src (typically a window of a wire frame that
+// will be reused) as an arena string and boxes it.
+func (s *Slab) BoxStringBytes(src []byte) any {
+	p := s.strCell()
+	*p = s.internBytes(src)
+	return boxAt(typString, unsafe.Pointer(p))
+}

@@ -49,6 +49,11 @@ type ValueCodec struct {
 	// Decode reads one value back and returns it with the number of
 	// bytes consumed.
 	Decode func(data []byte) (any, int, error)
+	// DecodeSlab, when set, is the arena-aware variant of Decode used by
+	// DecodePairsSlab: scratch and boxed scalars should come from the
+	// slab's Box helpers so a steady-state decode allocates nothing.
+	// Optional; absent, slab decodes fall back to Decode for this type.
+	DecodeSlab func(data []byte, s *Slab) (any, int, error)
 }
 
 var wireReg = struct {
@@ -444,6 +449,122 @@ func DecodeValue(data []byte) (any, int, error) {
 	}
 }
 
+// DecodeValueSlab is DecodeValue with arena allocation: scalar values
+// are boxed into s's cells and strings interned into its byte arena, so
+// the steady-state cost is zero heap allocations. Tags without an arena
+// path (byte/slice shapes, codecs without DecodeSlab) fall back to the
+// allocating DecodeValue — correctness never depends on slab support.
+// Everything returned follows s's release rules (see Slab).
+func DecodeValueSlab(data []byte, s *Slab) (any, int, error) {
+	tag, n, err := Uvarint(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	rest := data[n:]
+	switch tag {
+	case tagNil:
+		return nil, n, nil
+	case tagBool:
+		if len(rest) < 1 {
+			return nil, 0, fmt.Errorf("kv: truncated bool")
+		}
+		return s.BoxBool(rest[0] != 0), n + 1, nil
+	case tagInt:
+		x, m, err := Varint(rest)
+		if err != nil {
+			return nil, 0, err
+		}
+		return s.BoxInt(int(x)), n + m, nil
+	case tagInt32:
+		x, m, err := Varint(rest)
+		if err != nil {
+			return nil, 0, err
+		}
+		return s.BoxInt32(int32(x)), n + m, nil
+	case tagInt64:
+		x, m, err := Varint(rest)
+		if err != nil {
+			return nil, 0, err
+		}
+		return s.BoxInt64(x), n + m, nil
+	case tagUint64:
+		x, m, err := Uvarint(rest)
+		if err != nil {
+			return nil, 0, err
+		}
+		return s.BoxUint64(x), n + m, nil
+	case tagFloat32:
+		x, m, err := Float32At(rest)
+		if err != nil {
+			return nil, 0, err
+		}
+		return s.BoxFloat32(x), n + m, nil
+	case tagFloat64:
+		x, m, err := Float64At(rest)
+		if err != nil {
+			return nil, 0, err
+		}
+		return s.BoxFloat64(x), n + m, nil
+	case tagString:
+		l, m, err := Uvarint(rest)
+		if err != nil {
+			return nil, 0, err
+		}
+		if uint64(len(rest)-m) < l {
+			return nil, 0, fmt.Errorf("kv: truncated string")
+		}
+		return s.BoxStringBytes(rest[m : m+int(l)]), n + m + int(l), nil
+	case tagPairs:
+		// A nested pair list is a *value*, so it must survive
+		// ReleaseRetainValues — which recycles the slab's pair block. The
+		// slice header therefore comes from the heap; only its elements'
+		// keys and values use the (retainable) value arenas.
+		ps, m, err := decodeNestedPairsSlab(rest, s)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ps, n + m, nil
+	default:
+		if tag >= customTagBase {
+			if c, ok := codecFor(tag); ok && c.DecodeSlab != nil {
+				v, m, err := c.DecodeSlab(rest, s)
+				return v, n + m, err
+			}
+		}
+		// Slice shapes and slab-unaware codecs: the allocating path.
+		return DecodeValue(data)
+	}
+}
+
+// decodeNestedPairsSlab decodes a pair list that appears as a value
+// inside another pair list. The slice backing is heap-allocated (values
+// outlive the slab's pair block under ReleaseRetainValues) while the
+// elements still box through the slab's value arenas.
+func decodeNestedPairsSlab(data []byte, s *Slab) ([]Pair, int, error) {
+	count, n, err := Uvarint(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if count > uint64(len(data)) {
+		return nil, 0, fmt.Errorf("kv: pair count %d exceeds frame", count)
+	}
+	ps := make([]Pair, count)
+	for i := range ps {
+		k, m, err := DecodeValueSlab(data[n:], s)
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		v, m, err := DecodeValueSlab(data[n:], s)
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		ps[i] = Pair{Key: k, Value: v}
+	}
+	return ps, n, nil
+}
+
 // AppendPairs appends the binary encoding of ps: a uvarint count and
 // each pair's key/value encodings. ok=false means some pair carries an
 // unregistered type; buf is truncated back to its original length and
@@ -483,6 +604,38 @@ func DecodePairs(data []byte) ([]Pair, int, error) {
 		}
 		n += m
 		v, m, err := DecodeValue(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		ps[i] = Pair{Key: k, Value: v}
+	}
+	return ps, n, nil
+}
+
+// DecodePairsSlab reads an AppendPairs encoding into s: the pair list
+// and the boxed keys/values all live in arena memory, so a decode that
+// reuses a released slab allocates nothing in steady state. data is not
+// retained — string payloads are copied into the arena. The result
+// follows s's release rules (see Slab).
+func DecodePairsSlab(data []byte, s *Slab) ([]Pair, int, error) {
+	count, n, err := Uvarint(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if count > uint64(len(data)) {
+		// Each encoded pair takes at least two bytes; a count beyond the
+		// remaining length is corruption, not a huge allocation request.
+		return nil, 0, fmt.Errorf("kv: pair count %d exceeds frame", count)
+	}
+	ps := s.takePairs(int(count))
+	for i := range ps {
+		k, m, err := DecodeValueSlab(data[n:], s)
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		v, m, err := DecodeValueSlab(data[n:], s)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -18,7 +18,7 @@
 //
 // Known long-lived goroutines (for example the transport flusher while
 // a network is deliberately kept open) are suppressed with
-// IgnoreFunc("(*tcpConn).flushLoop")-style substring filters.
+// IgnoreFunc("(*tcpEndpoint).readLoop")-style substring filters.
 package leaktest
 
 import (

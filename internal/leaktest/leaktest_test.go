@@ -79,15 +79,14 @@ func TestCheckCleanRun(t *testing.T) {
 	<-done
 }
 
-// TestTransportFlusherFilter exercises the documented use case: a
-// deliberately open TCPNetwork keeps its flusher (and acceptor, reader,
-// and inbox pumps) alive, the filter list suppresses exactly those, and
-// once the network is closed a plain unfiltered check passes — proving
-// Close joins every transport goroutine.
-func TestTransportFlusherFilter(t *testing.T) {
+// TestTransportFilter exercises the documented use case: a
+// deliberately open TCPNetwork keeps its acceptor, reader, and inbox
+// pumps alive, the filter list suppresses exactly those, and once the
+// network is closed a plain unfiltered check passes — proving Close
+// joins every transport goroutine.
+func TestTransportFilter(t *testing.T) {
 	recFiltered := &recordTB{}
 	filtered := Check(recFiltered, Timeout(2*time.Second),
-		IgnoreFunc("(*tcpConn).flushLoop"),
 		IgnoreFunc("(*tcpEndpoint).accept"),
 		IgnoreFunc("(*tcpEndpoint).readLoop"),
 		IgnoreFunc("(*inbox).pump"))
@@ -117,8 +116,8 @@ func TestTransportFlusherFilter(t *testing.T) {
 	if !recBare.failed {
 		t.Fatal("unfiltered check passed while the network was open — the control is broken")
 	}
-	if !strings.Contains(recBare.msg, "flushLoop") {
-		t.Fatalf("unfiltered report does not show the flusher:\n%s", recBare.msg)
+	if !strings.Contains(recBare.msg, "readLoop") {
+		t.Fatalf("unfiltered report does not show the connection reader:\n%s", recBare.msg)
 	}
 
 	if err := net.Close(); err != nil {

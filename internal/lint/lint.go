@@ -100,6 +100,7 @@ func All() []*Analyzer {
 		SendCheck,
 		SimDeterminism,
 		MetricKey,
+		SlabRetain,
 	}
 }
 

@@ -19,6 +19,7 @@ var fixturePkg = map[string]string{
 	"sendcheck":      "imapreduce/internal/core",
 	"simdeterminism": "imapreduce/internal/sim",
 	"metrickey":      "imapreduce/internal/core",
+	"slabretain":     "imapreduce/internal/core",
 }
 
 // wantRe extracts the expectation regex from a `// want "..."` (or

@@ -15,8 +15,8 @@ import (
 // distributed-deadlock shape PRs 1–4 were careful to avoid.
 //
 // Non-blocking sends — a select with a default clause — are exempt:
-// that is precisely the idiom (see tcpConn.flushReq) for signalling
-// under a lock safely.
+// that is precisely the idiom (see the inbox push fast path) for
+// signalling under a lock safely.
 var LockedSend = &Analyzer{
 	Name: "lockedsend",
 	Doc: "channel send or transport Send/ReliableSend call while holding a " +

@@ -1,0 +1,53 @@
+// Clean fixture for slabretain: none of these may produce a finding.
+// Fixtures are parse-only — kv here is a stand-in, not the real package.
+package fixture
+
+import "imapreduce/internal/kv"
+
+// The intended ownership idiom: a deferred release runs at return,
+// after every use in the body.
+func deferredRelease(data []byte) int {
+	s := kv.AcquireSlab()
+	defer s.Release()
+	pairs, _, _ := kv.DecodePairsSlab(data, s)
+	return len(pairs)
+}
+
+// Copying out before the release is the documented escape hatch.
+func copyThenRelease(data []byte) []kv.Pair {
+	s := kv.AcquireSlab()
+	pairs, _, _ := kv.DecodePairsSlab(data, s)
+	out := make([]kv.Pair, len(pairs))
+	copy(out, pairs)
+	s.Release()
+	return out
+}
+
+// Reacquiring rebinds the name to a fresh slab; uses after that are of
+// the new slab, not the released one.
+func reacquire(data []byte) {
+	s := kv.AcquireSlab()
+	s.Release()
+	s = kv.AcquireSlab()
+	defer s.Release()
+	_, _, _ = kv.DecodePairsSlab(data, s)
+}
+
+// The error-path idiom: the branch that releases also returns, so the
+// success path below it still owns the slab.
+func errorPathRelease(data []byte) (int, error) {
+	s := kv.AcquireSlab()
+	pairs, _, err := kv.DecodePairsSlab(data, s)
+	if err != nil {
+		s.Release()
+		return 0, err
+	}
+	defer s.Release()
+	return len(pairs), nil
+}
+
+// Other chunk fields survive release() — only Pairs rides the slab.
+func chunkMetaAfterRelease(c *chunk) string {
+	c.release()
+	return c.From
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -20,7 +21,9 @@ import (
 // handshake. Bump it whenever the frame format changes incompatibly;
 // mixed-version peers then fail fast with a VersionMismatchError instead
 // of a confusing decode failure mid-stream.
-const ProtocolVersion byte = 1
+//
+// v2 added the frameDeflate frame type (optional per-frame compression).
+const ProtocolVersion byte = 2
 
 // AddrResolver maps a logical endpoint address (e.g. "job/map/0/3" or
 // "ctl/master") to the "host:port" its listener is bound to in another
@@ -50,6 +53,19 @@ type TCPOptions struct {
 	DialBackoffBase time.Duration
 	// DialBackoffMax caps the per-peer dial backoff (default 2s).
 	DialBackoffMax time.Duration
+	// ReadBufferSize and WriteBufferSize size each connection's buffered
+	// reader/writer (default 256 KiB). Bigger buffers let a burst of
+	// shuffle chunks share one syscall; the write side also bounds how
+	// much a single coalesced flush writes at once.
+	ReadBufferSize  int
+	WriteBufferSize int
+	// CompressThreshold enables per-frame flate compression for data
+	// frames whose body reaches this many bytes. 0 (the default)
+	// disables compression — on fast links the CPU usually costs more
+	// than the bytes save; enable it when the network is the bottleneck.
+	// A compressed frame that fails to shrink is sent uncompressed, so
+	// the threshold never makes traffic bigger.
+	CompressThreshold int
 }
 
 // TCPNetwork is the real-socket backend. Every endpoint owns a listener;
@@ -86,15 +102,26 @@ type TCPNetwork struct {
 	dials        atomic.Int64
 	dialTries    atomic.Int64
 	flushes      atomic.Int64
+	compFrames   atomic.Int64
+	compSaved    atomic.Int64
 	tr           atomic.Pointer[trace.Recorder]
 }
 
+// CompressedFrames reports how many data frames went out flate-wrapped
+// (CompressThreshold reached and compression shrank the frame).
+func (n *TCPNetwork) CompressedFrames() int64 { return n.compFrames.Load() }
+
+// CompressionSaved reports the cumulative bytes compression removed from
+// the stream (original frame size minus compressed frame size).
+func (n *TCPNetwork) CompressionSaved() int64 { return n.compSaved.Load() }
+
 // SetTrace attaches a recorder; connection flushes emit KindNetFlush
-// events into it. Call before traffic starts — connections dialed
-// earlier keep the recorder (possibly nil) they were created with.
+// events into it.
 func (n *TCPNetwork) SetTrace(r *trace.Recorder) { n.tr.Store(r) }
 
-// Flushes reports how many coalesced buffer flushes have happened.
+// Flushes reports how many buffer flushes have happened (one per frame
+// sent: frames flush inline to keep delivery latency off the iteration
+// critical path).
 func (n *TCPNetwork) Flushes() int64 { return n.flushes.Load() }
 
 // NewTCPNetwork returns an empty TCP network on the loopback interface.
@@ -113,6 +140,12 @@ func NewTCPNetworkOpts(opts TCPOptions) *TCPNetwork {
 	}
 	if opts.DialBackoffMax <= 0 {
 		opts.DialBackoffMax = 2 * time.Second
+	}
+	if opts.ReadBufferSize <= 0 {
+		opts.ReadBufferSize = 256 << 10
+	}
+	if opts.WriteBufferSize <= 0 {
+		opts.WriteBufferSize = 256 << 10
 	}
 	return &TCPNetwork{
 		endpoints:    make(map[string]*tcpEndpoint),
@@ -136,6 +169,11 @@ const (
 	frameGob      byte = 2 // body: stateless gob encoding of wireMessage
 	frameBin      byte = 3 // body: binary header + WireMarshaler payload
 	frameHelloAck byte = 4 // body: acceptor's version byte, then status byte
+	// frameDeflate wraps a frameGob or frameBin frame: the body is a
+	// uvarint decompressed length followed by a flate stream of the
+	// original [type byte][body]. Sent only when CompressThreshold is
+	// set and compressing actually shrank the frame.
+	frameDeflate byte = 5
 )
 
 // Hello-ack status bytes.
@@ -193,6 +231,11 @@ var wireUnmarshalers sync.Map // tag string -> func([]byte) (any, error)
 // Like gob.Register it is meant for init functions; duplicate tags
 // panic. Registration is process-global, which matches the in-process
 // cluster model: every endpoint sees the same registry.
+//
+// Ownership: data is a window of the connection's reusable frame buffer
+// and is overwritten by the next frame. The decoder must copy anything
+// it keeps (string(...), arena interning, explicit copies) and must not
+// retain data or subslices of it past the call.
 func RegisterWireUnmarshaler(tag string, fn func(data []byte) (any, error)) {
 	if tag == "" || fn == nil {
 		panic("transport: RegisterWireUnmarshaler with empty tag or nil func")
@@ -208,15 +251,15 @@ type tcpEndpoint struct {
 	listener net.Listener
 	ib       *inbox
 
-	mu    sync.Mutex
-	conns map[string]*tcpConn  // persistent outbound connections by peer
-	gates map[string]*dialGate // per-peer dial backoff state
-	done  chan struct{}
+	mu      sync.Mutex
+	conns   map[string]*tcpConn      // persistent outbound connections by peer
+	gates   map[string]*dialGate     // per-peer dial backoff state
+	dialing map[string]chan struct{} // single-flight claims; closed when a dial settles
+	done    chan struct{}
 
-	// accepted has its own lock: e.mu is held across dial+handshake, and
-	// an accept path waiting on it would deadlock two endpoints dialing
-	// each other (neither can answer the other's hello) until the dial
-	// timeout.
+	// accepted has its own lock so an accept path never waits on e.mu —
+	// two endpoints dialing each other must each be able to answer the
+	// other's hello while their own dial is in flight.
 	acceptMu sync.Mutex
 	accepted map[net.Conn]bool // live inbound connections
 }
@@ -236,10 +279,57 @@ type tcpConn struct {
 	dead     bool
 	buf      []byte       // frame scratch, reused under mu
 	gobBuf   bytes.Buffer // gob fallback scratch, reused under mu
-	flushReq chan struct{}
+	fw       *flate.Writer // per-conn compressor, created on first use, reused via Reset
+	cw       appendWriter  // compressed-frame scratch, reused under mu
 	net      *TCPNetwork
 	owner    string // local endpoint address, for flush attribution
 	peer     string
+}
+
+// appendWriter adapts an append-grown byte slice to io.Writer for the
+// flate compressor.
+type appendWriter struct{ buf []byte }
+
+func (aw *appendWriter) Write(p []byte) (int, error) {
+	aw.buf = append(aw.buf, p...)
+	return len(p), nil
+}
+
+// maybeCompress flate-wraps a data frame when the network's threshold
+// says so and the result is actually smaller; otherwise the frame is
+// returned untouched. Called under conn.mu; the returned slice is valid
+// until the next buildFrame/maybeCompress on this connection.
+func (conn *tcpConn) maybeCompress(frame []byte) []byte {
+	th := conn.net.opts.CompressThreshold
+	if th <= 0 || len(frame)-4 < th {
+		return frame
+	}
+	if t := frame[4]; t != frameBin && t != frameGob {
+		return frame
+	}
+	conn.cw.buf = append(conn.cw.buf[:0], 0, 0, 0, 0, frameDeflate)
+	conn.cw.buf = binary.AppendUvarint(conn.cw.buf, uint64(len(frame)-4))
+	if conn.fw == nil {
+		// BestSpeed: the point is shedding bytes cheaper than sending
+		// them, not archival ratios.
+		conn.fw, _ = flate.NewWriter(&conn.cw, flate.BestSpeed)
+	} else {
+		conn.fw.Reset(&conn.cw)
+	}
+	if _, err := conn.fw.Write(frame[4:]); err != nil {
+		return frame
+	}
+	if err := conn.fw.Close(); err != nil {
+		return frame
+	}
+	out := conn.cw.buf
+	if len(out) >= len(frame) {
+		return frame // incompressible: ship the original
+	}
+	binary.BigEndian.PutUint32(out, uint32(len(out)-4))
+	conn.net.compFrames.Add(1)
+	conn.net.compSaved.Add(int64(len(frame) - len(out)))
+	return out
 }
 
 type countingWriter struct {
@@ -299,6 +389,7 @@ func (n *TCPNetwork) endpoint(addr, listen string, reuse bool) (Endpoint, error)
 		ib:       newInbox(),
 		conns:    make(map[string]*tcpConn),
 		gates:    make(map[string]*dialGate),
+		dialing:  make(map[string]chan struct{}),
 		accepted: make(map[net.Conn]bool),
 		done:     make(chan struct{}),
 	}
@@ -379,8 +470,15 @@ func (e *tcpEndpoint) accept() {
 
 func (e *tcpEndpoint) readLoop(c net.Conn) {
 	defer c.Close()
-	br := bufio.NewReaderSize(c, 64<<10)
+	br := bufio.NewReaderSize(c, e.net.opts.ReadBufferSize)
 	var hdr [4]byte
+	// Frame bodies land in a grow-only buffer reused across frames —
+	// each frame's payload is fully consumed (decoded with copies; see
+	// RegisterWireUnmarshaler) before the next read overwrites it. A
+	// second buffer holds inflated bodies, and the inflater itself is
+	// reused via flate.Resetter.
+	var body, infBuf []byte
+	var inflater io.ReadCloser
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
@@ -389,9 +487,32 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 		if n == 0 || n > maxFrameSize {
 			return
 		}
-		body := make([]byte, n)
+		if uint32(cap(body)) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
 		if _, err := io.ReadFull(br, body); err != nil {
 			return
+		}
+		if body[0] == frameDeflate {
+			dn, m := binary.Uvarint(body[1:])
+			if m <= 0 || dn == 0 || dn > maxFrameSize {
+				return
+			}
+			if uint64(cap(infBuf)) < dn {
+				infBuf = make([]byte, dn)
+			}
+			infBuf = infBuf[:dn]
+			src := bytes.NewReader(body[1+m:])
+			if inflater == nil {
+				inflater = flate.NewReader(src)
+			} else if err := inflater.(flate.Resetter).Reset(src, nil); err != nil {
+				return
+			}
+			if _, err := io.ReadFull(inflater, infBuf); err != nil {
+				return
+			}
+			body, infBuf = infBuf, body // decode the inflated frame; reuse both
 		}
 		switch body[0] {
 		case frameHello:
@@ -511,15 +632,26 @@ func (e *tcpEndpoint) sendOnce(to string, msg Message) error {
 		// caller's problem, not the connection's.
 		return fmt.Errorf("transport: encode %s->%s: %w", e.addr, to, err)
 	}
+	frame = conn.maybeCompress(frame)
 	if _, err := conn.bw.Write(frame); err != nil {
 		conn.dead = true
 		conn.c.Close()
 		return fmt.Errorf("transport: send %s->%s: %w", e.addr, to, err)
 	}
-	// Wake the flusher; a pending signal already covers this frame.
-	select {
-	case conn.flushReq <- struct{}{}:
-	default:
+	// Flush inline. A loopback write syscall is cheaper than waking a
+	// flusher goroutine, and per-message delivery latency sits on the
+	// iteration critical path (sync barriers, reduce→map state return);
+	// an extra scheduling hop per frame is exactly what the engine
+	// benchmarks show as "syncwait".
+	if err := conn.bw.Flush(); err != nil {
+		conn.dead = true
+		conn.c.Close()
+		return fmt.Errorf("transport: flush %s->%s: %w", e.addr, to, err)
+	}
+	e.net.flushes.Add(1)
+	if tr := e.net.tr.Load(); tr != nil {
+		tr.Emit(trace.KindNetFlush, conn.owner, -1, 0,
+			trace.Attr{Key: "peer", Value: conn.peer})
 	}
 	e.net.msgs.Add(1)
 	return nil
@@ -557,40 +689,6 @@ func (conn *tcpConn) buildFrame(from string, msg Message) ([]byte, error) {
 	return buf, nil
 }
 
-// flushLoop drains buffered frames whenever the sender goes idle. On a
-// flush error it marks the connection dead so the next Send re-dials.
-func (conn *tcpConn) flushLoop(done <-chan struct{}) {
-	for {
-		select {
-		case <-done:
-			conn.mu.Lock()
-			if !conn.dead {
-				conn.bw.Flush()
-			}
-			conn.mu.Unlock()
-			return
-		case <-conn.flushReq:
-			conn.mu.Lock()
-			if conn.dead {
-				conn.mu.Unlock()
-				return
-			}
-			if err := conn.bw.Flush(); err != nil {
-				conn.dead = true
-				conn.c.Close()
-				conn.mu.Unlock()
-				return
-			}
-			conn.mu.Unlock()
-			conn.net.flushes.Add(1)
-			if tr := conn.net.tr.Load(); tr != nil {
-				tr.Emit(trace.KindNetFlush, conn.owner, -1, 0,
-					trace.Attr{Key: "peer", Value: conn.peer})
-			}
-		}
-	}
-}
-
 // resolve maps a logical peer address to its TCP listen address: the
 // in-process endpoint table first, then the configured resolver.
 func (n *TCPNetwork) resolve(peer string) (string, error) {
@@ -613,34 +711,92 @@ func (n *TCPNetwork) resolve(peer string) (string, error) {
 }
 
 // connTo returns the persistent connection to peer, dialing it on first
-// use. Failed dials arm a per-peer exponential backoff gate (with
-// jitter); sends inside the window fail fast with DialBackoffError.
+// use. Dials are single-flight per peer and run with e.mu RELEASED: a
+// run's first iteration dials every peer pair, and holding the endpoint
+// lock across each dial+handshake round trip would serialize all of
+// them — and block sends to peers that are already connected — behind
+// whichever dial happens to be in flight. Failed dials arm a per-peer
+// exponential backoff gate (with jitter); sends inside the window fail
+// fast with DialBackoffError.
 func (e *tcpEndpoint) connTo(peer string) (*tcpConn, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if c, ok := e.conns[peer]; ok {
-		c.mu.Lock()
-		dead := c.dead // the flusher marks connections dead asynchronously
-		c.mu.Unlock()
-		if !dead {
-			return c, nil
+	var claim chan struct{}
+	for {
+		e.mu.Lock()
+		if c, ok := e.conns[peer]; ok {
+			c.mu.Lock()
+			dead := c.dead // the flusher marks connections dead asynchronously
+			c.mu.Unlock()
+			if !dead {
+				e.mu.Unlock()
+				return c, nil
+			}
+		}
+		if g, ok := e.gates[peer]; ok && time.Now().Before(g.until) {
+			e.mu.Unlock()
+			return nil, &DialBackoffError{Peer: peer, Until: g.until, Err: g.lastErr}
+		}
+		inflight, busy := e.dialing[peer]
+		if !busy {
+			claim = make(chan struct{})
+			e.dialing[peer] = claim
+			e.mu.Unlock()
+			break
+		}
+		// Another goroutine is mid-dial to this peer: wait for it to
+		// settle, then re-check (it installed a conn or armed the gate).
+		e.mu.Unlock()
+		select {
+		case <-inflight:
+		case <-e.done:
+			return nil, fmt.Errorf("transport: endpoint %s closed", e.addr)
 		}
 	}
-	if g, ok := e.gates[peer]; ok && time.Now().Before(g.until) {
-		return nil, &DialBackoffError{Peer: peer, Until: g.until, Err: g.lastErr}
-	}
+
 	target, err := e.net.resolve(peer)
+	var conn *tcpConn
+	if err == nil {
+		conn, err = e.dial(peer, target)
+	}
+
+	e.mu.Lock()
+	delete(e.dialing, peer)
+	close(claim)
 	if err != nil {
+		if conn == nil && target != "" {
+			// Gate only actual dial failures; an unresolvable peer (not
+			// registered yet) should not penalize the first real send.
+			e.armGate(peer, err)
+		}
+		e.mu.Unlock()
 		return nil, err
 	}
-	conn, err := e.dial(peer, target)
-	if err != nil {
-		e.armGate(peer, err)
-		return nil, err
+	select {
+	case <-e.done:
+		// The endpoint closed while this dial was in flight; installing
+		// the conn now would leak a live socket past Close's sweep.
+		e.mu.Unlock()
+		conn.c.Close()
+		return nil, fmt.Errorf("transport: endpoint %s closed", e.addr)
+	default:
 	}
 	delete(e.gates, peer)
-	e.conns[peer] = conn
+	e.conns[peer] = conn // a dead predecessor's socket is already closed
+	e.mu.Unlock()
 	return conn, nil
+}
+
+// Preconnect dials the given peers concurrently in the background,
+// warming the persistent connections before first use: a task that is
+// about to shuffle to every partition would otherwise pay one
+// sequential dial+handshake round trip per peer inside its send loop.
+// Failures are ignored — an unresolvable peer arms no gate, and the
+// next Send re-dials exactly as without warming.
+func (e *tcpEndpoint) Preconnect(peers ...string) {
+	for _, p := range peers {
+		go func(peer string) {
+			_, _ = e.connTo(peer)
+		}(p)
+	}
 }
 
 // armGate records a dial failure against peer, doubling the backoff up
@@ -691,14 +847,12 @@ func (e *tcpEndpoint) dial(peer, target string) (*tcpConn, error) {
 	e.net.dials.Add(1)
 	cw := &countingWriter{w: raw, n: &e.net.bytes}
 	conn := &tcpConn{
-		c:        raw,
-		bw:       bufio.NewWriterSize(cw, 64<<10),
-		flushReq: make(chan struct{}, 1),
-		net:      e.net,
-		owner:    e.addr,
-		peer:     peer,
+		c:     raw,
+		bw:    bufio.NewWriterSize(cw, e.net.opts.WriteBufferSize),
+		net:   e.net,
+		owner: e.addr,
+		peer:  peer,
 	}
-	go conn.flushLoop(e.done)
 	return conn, nil
 }
 

@@ -261,3 +261,42 @@ func TestSendToClosedEndpoint(t *testing.T) {
 		t.Fatal("expected error sending to closed endpoint")
 	}
 }
+
+// TestDeliveryOrderUnderMixedPaths pins the inbox FIFO guarantee: the
+// direct fast path (queue empty, pump idle) and the pump path mix
+// freely as the receiver stalls and catches up, and messages from one
+// sender must still arrive in send order.
+func TestDeliveryOrderUnderMixedPaths(t *testing.T) {
+	for name, n := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			defer n.Close()
+			a, err := n.Endpoint("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := n.Endpoint("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			const total = 500
+			go func() {
+				for i := 0; i < total; i++ {
+					if err := a.Send("b", Message{Kind: fmt.Sprint(i)}); err != nil {
+						return
+					}
+				}
+			}()
+			for i := 0; i < total; i++ {
+				m := recvOne(t, b)
+				if m.Kind != fmt.Sprint(i) {
+					t.Fatalf("message %d arrived as %q", i, m.Kind)
+				}
+				if i%97 == 0 {
+					// Stall so the out channel fills and later sends take
+					// the queued pump path.
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		})
+	}
+}
