@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race short race-short bench bench-smoke trace-smoke soak proc-smoke ci clean
+.PHONY: all build vet lint test race short race-short bench bench-smoke trace-smoke serve-smoke soak proc-smoke ci clean
 
 all: ci
 
@@ -59,6 +59,15 @@ bench-smoke:
 trace-smoke:
 	$(GO) run ./cmd/imrbench -trace /tmp/imr-trace.json
 
+# Multi-tenant job-service smoke: the serve test suite (fair-share
+# scheduling, quotas, cancel semantics, bit-identical concurrent
+# outputs), then a short open-loop load-generation run that writes the
+# arrival-rate vs latency saturation curve to BENCH_serve.json and
+# fails on any dropped/failed job or a p99 above the bound.
+serve-smoke:
+	$(GO) test ./internal/serve -count=1 -timeout 5m
+	$(GO) run ./cmd/imrbench -serve BENCH_serve.json -serve-max-p99 30s
+
 # Seeded chaos soak: deterministic fault schedules (worker crash, stall,
 # link partition, DFS node loss, full engine kill + resume) against
 # SSSP/PageRank, asserting bit-identical output vs the fault-free run.
@@ -78,7 +87,7 @@ soak:
 proc-smoke:
 	$(GO) test -tags procsmoke ./internal/proctest -run TestProc -count=1 -v -timeout 10m
 
-ci: vet lint build race-short bench-smoke trace-smoke soak proc-smoke
+ci: vet lint build race-short bench-smoke trace-smoke serve-smoke soak proc-smoke
 
 clean:
 	$(GO) clean ./...

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"imapreduce/internal/experiments"
 )
@@ -34,8 +35,18 @@ func main() {
 		bench   = flag.String("bench", "", "run the data-plane benchmark suite at the quick configuration and write results as JSON to this path")
 		pprofTo = flag.String("pprof", "", "with -bench: write per-scenario CPU and heap pprof profiles into this directory")
 		traceTo = flag.String("trace", "", "run a traced quick SSSP job, write Chrome trace_event JSON to this path, and print the factor decomposition")
+		serveTo = flag.String("serve", "", "run the multi-tenant job-service load generator and write the arrival-rate vs latency saturation curve as JSON to this path")
+		servP99 = flag.Duration("serve-max-p99", 30*time.Second, "with -serve: fail if any rate point's p99 latency exceeds this bound (0 disables)")
 	)
 	flag.Parse()
+
+	if *serveTo != "" {
+		if err := runServeBench(*serveTo, *servP99); err != nil {
+			fmt.Fprintln(os.Stderr, "imrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"imapreduce/internal/imr"
+	"imapreduce/internal/jobs"
+	"imapreduce/internal/serve"
+)
+
+// serveFile is the BENCH_serve.json layout: the saturation curve of the
+// multi-tenant job service — arrival rate vs latency percentiles.
+// Baseline is preserved verbatim across runs, like BENCH_core.json.
+type serveFile struct {
+	Config   string            `json:"config"`
+	Baseline json.RawMessage   `json:"baseline,omitempty"`
+	Slots    int               `json:"slots"`
+	SoloMs   float64           `json:"solo_ms"`
+	Results  []serve.LoadPoint `json:"results"`
+}
+
+// lgParams is the shared input definition every load-generated job
+// reads (static/state files are read-only, so all jobs share them).
+var lgParams = map[string]string{
+	"name": "lgin", "nodes": "64", "maxiter": "3", "ckpt": "0",
+}
+
+// lgJob builds one load-generation job over the shared input with a
+// collision-free name and output path.
+func lgJob(tenant string, i int) (imr.JobSpec, imr.SubmitOptions, error) {
+	job, err := jobs.Build("pagerank", lgParams)
+	if err != nil {
+		return imr.JobSpec{}, imr.SubmitOptions{}, err
+	}
+	job.Name = fmt.Sprintf("lg-%d", i)
+	job.OutputPath = fmt.Sprintf("%s/lg-%d/out", serve.TenantRoot(tenant), i)
+	return imr.JobSpec{Iterative: job}, imr.SubmitOptions{}, nil
+}
+
+// runServeBench drives the open-loop load generator against a 4-slot
+// service: it calibrates the solo job duration, sweeps arrival rates
+// from well below to twice the implied capacity, writes the saturation
+// curve to path, and enforces the smoke gates (no drops, no failures,
+// p99 under maxP99 when set).
+func runServeBench(path string, maxP99 time.Duration) error {
+	const slots = 4
+	c, err := imr.NewCluster(imr.Options{Workers: 4})
+	if err != nil {
+		return err
+	}
+	if err := jobs.Seed(c.FS, c.Spec.IDs()[0], "pagerank", lgParams); err != nil {
+		return err
+	}
+
+	// Calibration: one solo run of the exact job the generator submits.
+	spec, _, err := lgJob("cal", -1)
+	if err != nil {
+		return err
+	}
+	soloStart := time.Now()
+	h, err := c.Submit(context.Background(), spec, imr.SubmitOptions{})
+	if err != nil {
+		return err
+	}
+	if _, err := h.Result(); err != nil {
+		return err
+	}
+	solo := time.Since(soloStart)
+	if solo <= 0 {
+		solo = time.Millisecond
+	}
+	capacity := float64(slots) / solo.Seconds() // jobs/sec at full slots
+
+	s, err := serve.New(serve.Config{Cluster: c, Slots: slots, QueueLimit: 4096})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	var buildErr error
+	points, err := serve.RunLoad(s, serve.LoadSpec{
+		Rates:       []float64{0.25 * capacity, 0.5 * capacity, 1.0 * capacity, 2.0 * capacity},
+		JobsPerRate: 16,
+		Tenants:     []string{"alpha", "beta"},
+		Make: func(tenant string, i int) (imr.JobSpec, imr.SubmitOptions) {
+			spec, opts, err := lgJob(tenant, i)
+			if err != nil && buildErr == nil {
+				buildErr = err
+			}
+			return spec, opts
+		},
+		Timeout: 2 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	if buildErr != nil {
+		return buildErr
+	}
+
+	out := serveFile{Config: "quick", Slots: slots, SoloMs: float64(solo) / float64(time.Millisecond), Results: points}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old struct {
+			Baseline json.RawMessage `json:"baseline"`
+		}
+		if json.Unmarshal(prev, &old) == nil {
+			out.Baseline = old.Baseline
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("solo job: %.1f ms, capacity ~%.1f jobs/s at %d slots\n",
+		out.SoloMs, capacity, slots)
+	fmt.Printf("%10s %5s %5s %5s %5s %9s %9s %9s %9s\n",
+		"rate/s", "jobs", "done", "rej", "fail", "p50 ms", "p95 ms", "p99 ms", "thru/s")
+	for _, p := range points {
+		fmt.Printf("%10.2f %5d %5d %5d %5d %9.1f %9.1f %9.1f %9.2f\n",
+			p.RatePerSec, p.Jobs, p.Completed, p.Rejected, p.Failed,
+			p.P50Ms, p.P95Ms, p.P99Ms, p.ThroughputPerSec)
+	}
+
+	// Smoke gates.
+	for _, p := range points {
+		if p.Rejected != 0 {
+			return fmt.Errorf("serve bench: %d jobs rejected at rate %.2f/s (queue limit mis-sized)",
+				p.Rejected, p.RatePerSec)
+		}
+		if p.Failed != 0 {
+			return fmt.Errorf("serve bench: %d jobs failed at rate %.2f/s", p.Failed, p.RatePerSec)
+		}
+		if maxP99 > 0 && p.P99Ms > float64(maxP99)/float64(time.Millisecond) {
+			return fmt.Errorf("serve bench: p99 %.1f ms at rate %.2f/s exceeds the %s gate",
+				p.P99Ms, p.RatePerSec, maxP99)
+		}
+	}
+	return nil
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,15 +24,14 @@ import (
 	"imapreduce/internal/algorithms/kmeans"
 	"imapreduce/internal/algorithms/pagerank"
 	"imapreduce/internal/algorithms/sssp"
-	"imapreduce/internal/cluster"
 	"imapreduce/internal/core"
 	"imapreduce/internal/dfs"
 	"imapreduce/internal/graph"
+	"imapreduce/internal/imr"
 	"imapreduce/internal/kv"
 	"imapreduce/internal/mapreduce"
 	"imapreduce/internal/metrics"
 	"imapreduce/internal/trace"
-	"imapreduce/internal/transport"
 )
 
 func main() {
@@ -88,36 +88,35 @@ func main() {
 	}
 }
 
-func newCluster(workers int) (cluster.Spec, *metrics.Set, *dfs.DFS) {
-	spec := cluster.Uniform(workers)
-	spec.JobInitOverhead = 50 * time.Millisecond
-	spec.TaskStartOverhead = 10 * time.Millisecond
-	m := metrics.NewSet()
-	fs := dfs.New(dfs.DefaultConfig(), spec.IDs(), m)
-	return spec, m, fs
+// newCluster builds the in-process cluster every mode runs over, with
+// Hadoop-like scheduling overheads enabled so timings look realistic.
+func newCluster(workers int, tcp bool, rec *trace.Recorder, copts *core.Options) *imr.Cluster {
+	c, err := imr.NewCluster(imr.Options{
+		Workers:           workers,
+		TCP:               tcp,
+		Trace:             rec,
+		JobInitOverhead:   50 * time.Millisecond,
+		TaskStartOverhead: 10 * time.Millisecond,
+		Core:              copts,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return c
 }
 
 func runIMR(g *graph.Graph, algo string, source int64, iters int, threshold float64, workers, tasks int, sync, tcp bool, sample int, traceRun, resume bool, ckpt int) {
-	spec, m, fs := newCluster(workers)
 	var rec *trace.Recorder
 	if traceRun {
 		rec = trace.NewRecorder(0)
 	}
-	var net transport.Network = transport.NewChanNetwork()
-	if tcp {
-		t := transport.NewTCPNetwork()
-		t.SetTrace(rec)
-		net = t
-	}
-	opts := core.Options{Timeout: 10 * time.Minute, Trace: rec}
+	copts := core.Options{Timeout: 10 * time.Minute}
 	var iterNow atomic.Int64
 	if resume {
-		opts.OnIteration = func(it core.IterInfo) { iterNow.Store(int64(it.Iter)) }
+		copts.OnIteration = func(it core.IterInfo) { iterNow.Store(int64(it.Iter)) }
 	}
-	eng, err := core.NewEngine(fs, net, spec, m, opts)
-	if err != nil {
-		fatal(err)
-	}
+	c := newCluster(workers, tcp, rec, &copts)
+	spec, m, fs := c.Spec, c.Metrics, c.FS
 	var job *core.Job
 	switch algo {
 	case "sssp":
@@ -150,12 +149,13 @@ func runIMR(g *graph.Graph, algo string, source int64, iters int, threshold floa
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", algo))
 	}
+	ctx := context.Background()
 	var res *core.Result
+	var err error
 	if resume {
-		// Crash-restart demo: checkpoint as we go, kill the whole
-		// engine (master and every task) halfway, then build a fresh
-		// engine over the surviving DFS and resume from the newest
-		// durable manifest.
+		// Crash-restart demo: checkpoint as we go, kill the run
+		// (master and every task) halfway, then resubmit with
+		// Resume set to cold-restart from the newest durable manifest.
 		if job.CheckpointEvery <= 0 {
 			job.CheckpointEvery = ckpt
 		}
@@ -167,24 +167,43 @@ func runIMR(g *graph.Graph, algo string, source int64, iters int, threshold floa
 			for iterNow.Load() < target {
 				time.Sleep(time.Millisecond)
 			}
-			eng.Kill()
+			for c.KillRun() != nil {
+				time.Sleep(time.Millisecond)
+			}
 		}()
-		_, err = eng.Run(job)
+		h, err2 := c.Submit(ctx, imr.JobSpec{Iterative: job}, imr.SubmitOptions{})
+		if err2 != nil {
+			fatal(err2)
+		}
+		_, err = h.Result()
 		switch {
 		case errors.Is(err, core.ErrKilled):
-			fmt.Printf("engine killed at iteration %d; cold-restarting from the newest durable checkpoint\n", iterNow.Load())
+			fmt.Printf("run killed at iteration %d; cold-restarting from the newest durable checkpoint\n", iterNow.Load())
 		case err != nil:
 			fatal(err)
 		default:
 			fatal(fmt.Errorf("run finished before the kill landed; raise -iters"))
 		}
-		eng2, err2 := core.NewEngine(fs, net, spec, m, opts)
-		if err2 != nil {
-			fatal(err2)
+		h, err = c.Submit(ctx, imr.JobSpec{Iterative: job}, imr.SubmitOptions{Resume: true})
+		if err != nil {
+			fatal(err)
 		}
-		res, err = eng2.Resume(job)
+		var r *imr.JobResult
+		r, err = h.Result()
+		if r != nil {
+			res = r.Iterative
+		}
 	} else {
-		res, err = eng.Run(job)
+		var h *imr.JobHandle
+		h, err = c.Submit(ctx, imr.JobSpec{Iterative: job}, imr.SubmitOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		var r *imr.JobResult
+		r, err = h.Result()
+		if r != nil {
+			res = r.Iterative
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -222,11 +241,8 @@ func numeric(v any) float64 {
 }
 
 func runMR(g *graph.Graph, algo string, source int64, iters int, threshold float64, workers, sample int) {
-	spec, m, fs := newCluster(workers)
-	eng, err := mapreduce.NewEngine(fs, spec, m, mapreduce.Options{LocalityAware: true})
-	if err != nil {
-		fatal(err)
-	}
+	c := newCluster(workers, false, nil, nil)
+	spec, m, fs := c.Spec, c.Metrics, c.FS
 	var spec2 mapreduce.IterSpec
 	switch algo {
 	case "sssp":
@@ -250,10 +266,15 @@ func runMR(g *graph.Graph, algo string, source int64, iters int, threshold float
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", algo))
 	}
-	res, err := mapreduce.RunIterative(eng, spec2)
+	h, err := c.Submit(context.Background(), imr.JobSpec{Chain: &spec2}, imr.SubmitOptions{})
 	if err != nil {
 		fatal(err)
 	}
+	r, err := h.Result()
+	if err != nil {
+		fatal(err)
+	}
+	res := r.Chain
 	fmt.Printf("\n=== MapReduce baseline (%s) ===\n", algo)
 	fmt.Printf("%-6s %-12s %-12s %-12s\n", "iter", "cumulative", "ex-init", "distance")
 	for _, st := range res.Stats {
@@ -303,20 +324,22 @@ func runKMeans(pointsPath string, k, iters, workers int, engine string) {
 	fmt.Printf("%d points, %d dims, k=%d\n", len(points), len(points[0].Value.(kmeans.Point)), k)
 
 	if engine == "imr" || engine == "both" {
-		spec, m, fs := newCluster(workers)
-		eng, err := core.NewEngine(fs, transport.NewChanNetwork(), spec, m, core.Options{Timeout: 10 * time.Minute})
-		if err != nil {
-			fatal(err)
-		}
+		c := newCluster(workers, false, nil, &core.Options{Timeout: 10 * time.Minute})
+		spec, m, fs := c.Spec, c.Metrics, c.FS
 		if err := kmeans.WriteInputs(fs, spec.IDs()[0], points, cents, "/points", "/cents"); err != nil {
 			fatal(err)
 		}
-		res, err := eng.Run(kmeans.IMRJob(kmeans.IMRConfig{
+		h, err := c.Submit(context.Background(), imr.JobSpec{Iterative: kmeans.IMRJob(kmeans.IMRConfig{
 			Name: "cli-kmeans", StaticPath: "/points", StatePath: "/cents", MaxIter: iters,
-		}))
+		})}, imr.SubmitOptions{})
 		if err != nil {
 			fatal(err)
 		}
+		r, err := h.Result()
+		if err != nil {
+			fatal(err)
+		}
+		res := r.Iterative
 		fmt.Printf("\n=== iMapReduce (kmeans, one2all broadcast) ===\n")
 		fmt.Printf("%d iterations in %v (init %v); shuffle %s\n",
 			res.Iterations, res.TotalWall.Round(time.Millisecond), res.InitTime.Round(time.Millisecond),
@@ -324,16 +347,15 @@ func runKMeans(pointsPath string, k, iters, workers int, engine string) {
 		printCentroids(fs, spec.IDs()[0], res.OutputPath)
 	}
 	if engine == "mr" || engine == "both" {
-		spec, m, fs := newCluster(workers)
-		eng, err := mapreduce.NewEngine(fs, spec, m, mapreduce.Options{LocalityAware: true})
-		if err != nil {
-			fatal(err)
-		}
+		c := newCluster(workers, false, nil, nil)
+		spec, m, fs := c.Spec, c.Metrics, c.FS
 		if err := fs.WriteFile("/points", spec.IDs()[0], points, kmeans.PointOps()); err != nil {
 			fatal(err)
 		}
 		start := time.Now()
-		res, err := kmeans.RunMR(eng, kmeans.MRConfig{
+		// kmeans.RunMR is a bespoke driver loop, not an IterSpec chain,
+		// so it runs on the baseline engine directly.
+		res, err := kmeans.RunMR(c.MapReduceEngine(), kmeans.MRConfig{
 			Name: "cli-kmeans-mr", PointsPath: "/points", WorkDir: "/work",
 			Centroids: cents, NumReduce: workers, MaxIter: iters,
 		})

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -52,11 +53,18 @@ func main() {
 		DistThreshold: 0.001, // stop when the rank vector settles
 	})
 
-	// 4. Run. One job, persistent tasks, iterations inside.
-	res, err := c.RunIterative(job)
+	// 4. Submit. One job, persistent tasks, iterations inside. Submit
+	// returns a handle immediately; Result blocks for the outcome (use
+	// Wait/Cancel/Status for finer control over a running job).
+	h, err := c.Submit(context.Background(), imr.JobSpec{Iterative: job}, imr.SubmitOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	r, err := h.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := r.Iterative
 	for _, it := range res.PerIter {
 		fmt.Printf("  iteration %2d  distance %.6f  at %v\n",
 			it.Iter, it.Dist, it.CompletedAt.Round(time.Millisecond))

@@ -6,14 +6,20 @@
 // usual" (§3.5).
 //
 //	c, _ := imr.NewCluster(imr.Options{Workers: 4})
-//	c.RunJob(batchJob)         // plain MapReduce, Hadoop-style
-//	c.RunIterative(iterJob)    // iMapReduce persistent-task execution
+//	h, _ := c.Submit(ctx, imr.JobSpec{Iterative: iterJob}, imr.SubmitOptions{})
+//	res, err := h.Result() // or h.Wait(ctx) / h.Cancel() / h.Status()
+//
+// Submit is the single entry point for all three execution styles —
+// iMapReduce iterative jobs, plain batch MapReduce, and the baseline
+// job-chain pattern — and returns a JobHandle immediately; the former
+// blocking Run*/Resume* methods survive as deprecated wrappers.
 package imr
 
 import (
 	"context"
 	"fmt"
 	"reflect"
+	"sync"
 	"time"
 
 	"imapreduce/internal/cluster"
@@ -64,14 +70,28 @@ type Options struct {
 }
 
 // Cluster bundles one simulated cluster with both execution engines
-// over a shared DFS and metrics set.
+// over a shared DFS and metrics set. Submit is the front door; many
+// jobs may run concurrently (the cluster grows per-run engines over
+// the shared substrate on demand), as long as their names differ.
 type Cluster struct {
 	Spec    cluster.Spec
 	FS      *dfs.DFS
 	Metrics *metrics.Set
 
+	net      transport.Network
+	coreOpts core.Options
+	mrOpts   mapreduce.Options
+
 	mr   *mapreduce.Engine
 	core *core.Engine
+
+	// engMu guards the engine pools and the active-run name registry
+	// that Submit maintains.
+	engMu       sync.Mutex
+	coreFree    []*core.Engine
+	coreActive  []*core.Engine
+	mrFree      []*mapreduce.Engine
+	activeNames map[string]bool
 }
 
 // NewCluster builds a cluster from opts.
@@ -134,39 +154,70 @@ func NewCluster(opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{Spec: spec, FS: fs, Metrics: m, mr: mrEngine, core: coreEngine}, nil
+	c := &Cluster{
+		Spec: spec, FS: fs, Metrics: m,
+		net: net, coreOpts: coreOpts, mrOpts: mrOpts,
+		mr: mrEngine, core: coreEngine,
+		activeNames: make(map[string]bool),
+	}
+	// The engines built above seed the Submit pools.
+	c.coreFree = []*core.Engine{coreEngine}
+	c.mrFree = []*mapreduce.Engine{mrEngine}
+	return c, nil
 }
 
 // RunJob executes a plain batch MapReduce job (iterative features off).
+//
+// Deprecated: use Submit with JobSpec{Batch: job}.
 func (c *Cluster) RunJob(job *mapreduce.Job) (*mapreduce.JobResult, error) {
-	return c.mr.Submit(job)
+	return c.RunJobCtx(context.Background(), job)
 }
 
 // RunJobCtx is RunJob with cancellation: when ctx is canceled the job
 // stops at the next phase-collection point and the returned error wraps
 // context.Canceled (or ctx's cause).
+//
+// Deprecated: use Submit with JobSpec{Batch: job}.
 func (c *Cluster) RunJobCtx(ctx context.Context, job *mapreduce.Job) (*mapreduce.JobResult, error) {
-	return c.mr.SubmitCtx(ctx, job)
+	r, err := c.submitWait(ctx, JobSpec{Batch: job}, SubmitOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return r.Batch, nil
 }
 
 // RunJobChain executes the baseline's iterative pattern: one job per
 // iteration plus convergence-check jobs, driven from the client.
+//
+// Deprecated: use Submit with JobSpec{Chain: &spec}.
 func (c *Cluster) RunJobChain(spec mapreduce.IterSpec) (*mapreduce.IterResult, error) {
-	return mapreduce.RunIterative(c.mr, spec)
+	r, err := c.submitWait(context.Background(), JobSpec{Chain: &spec}, SubmitOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return r.Chain, nil
 }
 
 // RunIterative executes an iMapReduce job (iterative features on):
 // persistent tasks, static/state separation, asynchronous maps.
+//
+// Deprecated: use Submit with JobSpec{Iterative: job}.
 func (c *Cluster) RunIterative(job *core.Job) (*core.Result, error) {
-	return c.core.Run(job)
+	return c.RunIterativeCtx(context.Background(), job)
 }
 
 // RunIterativeCtx is RunIterative with cancellation: when ctx is
 // canceled the master aborts every persistent task (no final output is
 // written) and the returned error wraps context.Canceled (or ctx's
 // cause).
+//
+// Deprecated: use Submit with JobSpec{Iterative: job}.
 func (c *Cluster) RunIterativeCtx(ctx context.Context, job *core.Job) (*core.Result, error) {
-	return c.core.RunCtx(ctx, job)
+	r, err := c.submitWait(ctx, JobSpec{Iterative: job}, SubmitOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return r.Iterative, nil
 }
 
 // ResumeIterative cold-restarts an iterative job from its newest
@@ -176,20 +227,48 @@ func (c *Cluster) RunIterativeCtx(ctx context.Context, job *core.Job) (*core.Res
 // the same definition that wrote the checkpoints (the manifest's
 // configuration fingerprint is verified, as are every partition file's
 // existence, size, and CRC).
+//
+// Deprecated: use Submit with JobSpec{Iterative: job} and
+// SubmitOptions{Resume: true}.
 func (c *Cluster) ResumeIterative(job *core.Job) (*core.Result, error) {
-	return c.core.Resume(job)
+	return c.ResumeIterativeCtx(context.Background(), job)
 }
 
 // ResumeIterativeCtx is ResumeIterative with cancellation.
+//
+// Deprecated: use Submit with JobSpec{Iterative: job} and
+// SubmitOptions{Resume: true}.
 func (c *Cluster) ResumeIterativeCtx(ctx context.Context, job *core.Job) (*core.Result, error) {
-	return c.core.ResumeCtx(ctx, job)
+	r, err := c.submitWait(ctx, JobSpec{Iterative: job}, SubmitOptions{Resume: true})
+	if err != nil {
+		return nil, err
+	}
+	return r.Iterative, nil
 }
 
-// KillRun tears down the active iterative run as if the engine process
+// ErrNoActiveRun is returned by KillRun when no iterative run is
+// active. It wraps core.ErrKilled so callers probing for "the kill
+// path" with errors.Is(err, core.ErrKilled) see both the no-run
+// rejection and a killed run's error uniformly.
+var ErrNoActiveRun = fmt.Errorf("imr: no active iterative run: %w", core.ErrKilled)
+
+// KillRun tears down an active iterative run as if the engine process
 // crashed: no final output, checkpoints and manifests left in place for
-// a later ResumeIterative. The killed run returns an error wrapping
-// core.ErrKilled.
-func (c *Cluster) KillRun() error { return c.core.Kill() }
+// a later resume. With several concurrent runs the earliest-acquired
+// engine's run is killed. The killed run returns an error wrapping
+// core.ErrKilled; when no run is active KillRun returns ErrNoActiveRun
+// (never a silent nil).
+func (c *Cluster) KillRun() error {
+	c.engMu.Lock()
+	engines := append([]*core.Engine(nil), c.coreActive...)
+	c.engMu.Unlock()
+	for _, eng := range engines {
+		if eng.Kill() == nil {
+			return nil
+		}
+	}
+	return ErrNoActiveRun
+}
 
 // MapReduceEngine exposes the baseline engine for advanced use.
 func (c *Cluster) MapReduceEngine() *mapreduce.Engine { return c.mr }
@@ -197,13 +276,38 @@ func (c *Cluster) MapReduceEngine() *mapreduce.Engine { return c.mr }
 // CoreEngine exposes the iMapReduce engine for advanced use.
 func (c *Cluster) CoreEngine() *core.Engine { return c.core }
 
-// FailWorker injects a worker crash into the active iterative run.
-func (c *Cluster) FailWorker(id string) error { return c.core.FailWorker(id) }
+// FailWorker injects a worker crash into an active iterative run (with
+// several concurrent runs, the earliest-acquired engine's run).
+func (c *Cluster) FailWorker(id string) error {
+	c.engMu.Lock()
+	engines := append([]*core.Engine(nil), c.coreActive...)
+	c.engMu.Unlock()
+	var last error = ErrNoActiveRun
+	for _, eng := range engines {
+		if err := eng.FailWorker(id); err == nil {
+			return nil
+		} else {
+			last = err
+		}
+	}
+	return last
+}
 
 // StallWorker freezes worker id's tasks for d without any announcement
 // — an undetected hang, recoverable only through heartbeat detection
-// (core.Options.HeartbeatInterval).
-func (c *Cluster) StallWorker(id string, d time.Duration) { c.core.StallWorker(id, d) }
+// (core.Options.HeartbeatInterval). The stall applies to every engine
+// with an active run.
+func (c *Cluster) StallWorker(id string, d time.Duration) {
+	c.engMu.Lock()
+	engines := append([]*core.Engine(nil), c.coreActive...)
+	c.engMu.Unlock()
+	if len(engines) == 0 {
+		engines = []*core.Engine{c.core}
+	}
+	for _, eng := range engines {
+		eng.StallWorker(id, d)
+	}
+}
 
 // Write stores records as a DFS file at the first worker.
 func (c *Cluster) Write(path string, recs []kv.Pair, ops kv.Ops) error {

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -72,6 +73,13 @@ type IterResult struct {
 
 // RunIterative executes the chained-jobs pattern on e.
 func RunIterative(e *Engine, spec IterSpec) (*IterResult, error) {
+	return RunIterativeCtx(context.Background(), e, spec)
+}
+
+// RunIterativeCtx is RunIterative with cancellation: a done ctx aborts
+// the chain between (and inside) its constituent jobs, and the returned
+// error wraps ctx's cause.
+func RunIterativeCtx(ctx context.Context, e *Engine, spec IterSpec) (*IterResult, error) {
 	if spec.MaxIter <= 0 && spec.DistThreshold <= 0 {
 		return nil, fmt.Errorf("mapreduce: iterative %s needs MaxIter or DistThreshold", spec.Name)
 	}
@@ -93,7 +101,7 @@ func RunIterative(e *Engine, spec IterSpec) (*IterResult, error) {
 			NumReduce: spec.NumReduce,
 			Ops:       spec.Ops,
 		}
-		jr, err := e.Submit(job)
+		jr, err := e.SubmitCtx(ctx, job)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +116,7 @@ func RunIterative(e *Engine, spec IterSpec) (*IterResult, error) {
 		converged := false
 		if spec.DistThreshold > 0 && i >= 2 {
 			prev := fmt.Sprintf("%s/iter-%03d", spec.WorkDir, i-1)
-			dist, cw, ci, err := e.runDistanceJob(spec, prev, out, i)
+			dist, cw, ci, err := e.runDistanceJob(ctx, spec, prev, out, i)
 			if err != nil {
 				return nil, err
 			}
@@ -144,7 +152,7 @@ func RunIterative(e *Engine, spec IterSpec) (*IterResult, error) {
 // reads the previous and current outputs, tags records by source file,
 // joins them by key in reduce, and emits per-key distances that the
 // driver sums at the client.
-func (e *Engine) runDistanceJob(spec IterSpec, prevDir, curDir string, iter int) (float64, time.Duration, time.Duration, error) {
+func (e *Engine) runDistanceJob(ctx context.Context, spec IterSpec, prevDir, curDir string, iter int) (float64, time.Duration, time.Duration, error) {
 	inputs := append(e.fs.List(prevDir+"/"), e.fs.List(curDir+"/")...)
 	if len(inputs) == 0 {
 		return 0, 0, 0, fmt.Errorf("mapreduce: no outputs to compare under %s and %s", prevDir, curDir)
@@ -189,7 +197,7 @@ func (e *Engine) runDistanceJob(spec IterSpec, prevDir, curDir string, iter int)
 		NumReduce: spec.NumReduce,
 		Ops:       spec.Ops,
 	}
-	jr, err := e.Submit(job)
+	jr, err := e.SubmitCtx(ctx, job)
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -42,6 +42,19 @@ const (
 	RunsResumed       = "runs.resumed"         // cold restarts from a durable manifest
 )
 
+// Counter names reported by the multi-tenant job service
+// (internal/serve). ServeQueueWait is a duration accumulator (AddSpan).
+const (
+	ServeSubmitted     = "serve.jobs.submitted"          // jobs admitted into a queue
+	ServeRejectedQueue = "serve.jobs.rejected.queuefull" // submissions bounced by the bounded queue
+	ServeRejectedQuota = "serve.jobs.rejected.quota"     // submissions bounced by a tenant quota
+	ServeDispatched    = "serve.jobs.dispatched"         // jobs handed a slot by the scheduler
+	ServeCompleted     = "serve.jobs.completed"          // jobs finished successfully
+	ServeFailed        = "serve.jobs.failed"             // jobs finished with a non-cancel error
+	ServeCanceled      = "serve.jobs.canceled"           // jobs canceled while queued or running
+	ServeQueueWait     = "serve.queue.wait"              // cumulative submit→dispatch wait
+)
+
 // Set is a registry of counters and timers for one engine run.
 type Set struct {
 	mu       sync.Mutex

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"imapreduce/internal/imr"
+)
+
+// LoadSpec drives an open-loop load generation run against a Service:
+// for each rate, arrivals are scheduled by the wall clock (arrival i at
+// start + i/rate) regardless of how fast jobs complete, which is what
+// exposes saturation — once offered load exceeds service capacity the
+// queue grows and latency climbs instead of the generator slowing down.
+type LoadSpec struct {
+	// Rates lists the arrival rates (jobs/second) to measure, one
+	// LoadPoint each.
+	Rates []float64
+	// JobsPerRate is the arrival count per rate point (default 16).
+	JobsPerRate int
+	// Tenants are assigned to arrivals round-robin (default: just
+	// DefaultTenant).
+	Tenants []string
+	// Make builds the job for one arrival; i is unique across the whole
+	// run (all rate points), so Make can mint collision-free names and
+	// output paths. The returned options' Tenant field is overwritten
+	// with the round-robin assignment.
+	Make func(tenant string, i int) (imr.JobSpec, imr.SubmitOptions)
+	// Timeout bounds each job's wait; jobs still unfinished are
+	// canceled and counted as failed (default 2 minutes).
+	Timeout time.Duration
+}
+
+// LoadPoint is the measured outcome of one arrival rate.
+type LoadPoint struct {
+	RatePerSec       float64 `json:"rate_per_sec"`
+	Jobs             int     `json:"jobs"`
+	Completed        int     `json:"completed"`
+	Rejected         int     `json:"rejected"`
+	Failed           int     `json:"failed"`
+	P50Ms            float64 `json:"p50_ms"`
+	P95Ms            float64 `json:"p95_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	MeanMs           float64 `json:"mean_ms"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+}
+
+// RunLoad measures s under each rate in ls and returns one LoadPoint
+// per rate: the saturation curve. Latency is submit→finish (queue wait
+// included). Points run back-to-back but each drains fully (every
+// admitted job finished or canceled) before the next begins, so
+// backlog never leaks across rates.
+func RunLoad(s *Service, ls LoadSpec) ([]LoadPoint, error) {
+	if ls.Make == nil {
+		return nil, fmt.Errorf("serve: LoadSpec.Make is required")
+	}
+	if ls.JobsPerRate <= 0 {
+		ls.JobsPerRate = 16
+	}
+	tenants := ls.Tenants
+	if len(tenants) == 0 {
+		tenants = []string{DefaultTenant}
+	}
+	timeout := ls.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+
+	points := make([]LoadPoint, 0, len(ls.Rates))
+	idx := 0
+	for _, rate := range ls.Rates {
+		if rate <= 0 {
+			return nil, fmt.Errorf("serve: load rate must be positive, got %g", rate)
+		}
+		interval := time.Duration(float64(time.Second) / rate)
+		pt := LoadPoint{RatePerSec: rate, Jobs: ls.JobsPerRate}
+
+		var (
+			mu   sync.Mutex
+			lats []float64
+			wg   sync.WaitGroup
+		)
+		start := time.Now()
+		for i := 0; i < ls.JobsPerRate; i++ {
+			if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+				time.Sleep(d)
+			}
+			tenant := tenants[i%len(tenants)]
+			spec, opts := ls.Make(tenant, idx)
+			idx++
+			submitAt := time.Now()
+			opts.Tenant = tenant
+			j, err := s.Submit(context.Background(), spec, opts)
+			if err != nil {
+				mu.Lock()
+				pt.Rejected++
+				mu.Unlock()
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				err := j.Wait(ctx)
+				cancel()
+				if err != nil && ctx.Err() != nil {
+					// Deadline hit: cancel and drain so the next rate
+					// point starts from an idle service.
+					j.Cancel()
+					err = j.Wait(context.Background())
+					if err == nil {
+						err = fmt.Errorf("serve: load job %s overran the %s wait", j.ID(), timeout)
+					}
+				}
+				mu.Lock()
+				if err != nil {
+					pt.Failed++
+				} else {
+					lats = append(lats, elapsedMS(time.Since(submitAt)))
+				}
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		sort.Float64s(lats)
+		pt.Completed = len(lats)
+		pt.P50Ms = percentile(lats, 0.50)
+		pt.P95Ms = percentile(lats, 0.95)
+		pt.P99Ms = percentile(lats, 0.99)
+		if len(lats) > 0 {
+			var sum float64
+			for _, l := range lats {
+				sum += l
+			}
+			pt.MeanMs = sum / float64(len(lats))
+			pt.ThroughputPerSec = float64(len(lats)) / elapsed.Seconds()
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// percentile returns the p-quantile of an ascending-sorted sample by
+// the nearest-rank method (0 on an empty sample).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

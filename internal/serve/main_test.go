@@ -1,0 +1,13 @@
+package serve
+
+import (
+	"testing"
+
+	"imapreduce/internal/leaktest"
+)
+
+func TestMain(m *testing.M) {
+	// Every Service and Cluster in this package spawns goroutines
+	// (scheduler, runners, persistent tasks); none may outlive its test.
+	leaktest.VerifyTestMain(m)
+}

@@ -37,6 +37,15 @@ const (
 	KindResume      Kind = "run.resume"   // cold restart from a durable manifest
 )
 
+// Instant event kinds emitted by the multi-tenant job service
+// (internal/serve).
+const (
+	KindServeSubmit   Kind = "serve.submit"   // job admitted into a tenant queue
+	KindServeReject   Kind = "serve.reject"   // submission bounced at admission
+	KindServeDispatch Kind = "serve.dispatch" // scheduler handed the job a slot
+	KindServeDone     Kind = "serve.done"     // job reached a terminal state
+)
+
 // Span kinds emitted by the iterative (core) engine, one set per task
 // pair per iteration.
 const (
