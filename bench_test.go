@@ -8,6 +8,7 @@
 package imapreduce_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -201,7 +202,7 @@ func BenchmarkAblationLocality(b *testing.B) {
 				}
 				spec2 := pagerank.MRSpec("ab-loc", "/in", "/work", g.N, 4, 3, 0)
 				b.StartTimer()
-				if _, err := mapreduce.RunIterative(eng, spec2); err != nil {
+				if _, err := mapreduce.RunIterativeCtx(context.Background(), eng, spec2); err != nil {
 					b.Fatal(err)
 				}
 				b.StopTimer()

@@ -4,10 +4,15 @@
 // static/state separation, async maps), with Hadoop-like scheduling
 // overheads so the paper's Figs. 4–5 shape is visible at laptop scale.
 //
+// Both runs go through the imr.Cluster Submit front door: the baseline
+// as a JobSpec{Chain} (client-driven job-per-iteration pattern), the
+// iMapReduce run as a JobSpec{Iterative} (one persistent job).
+//
 //	go run ./examples/sssp
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,11 +20,10 @@ import (
 	"imapreduce/internal/algorithms/sssp"
 	"imapreduce/internal/cluster"
 	"imapreduce/internal/core"
-	"imapreduce/internal/dfs"
 	"imapreduce/internal/graph"
+	"imapreduce/internal/imr"
 	"imapreduce/internal/mapreduce"
 	"imapreduce/internal/metrics"
-	"imapreduce/internal/transport"
 )
 
 const iters = 12
@@ -38,15 +42,15 @@ func main() {
 
 	fmt.Printf("%-6s %-18s %-18s %-14s\n", "iter", "MapReduce(cum)", "MR ex-init(cum)", "iMapReduce(cum)")
 	for i := 0; i < iters; i++ {
-		mrc, mrx, imr := "-", "-", "-"
+		mrc, mrx, imrc := "-", "-", "-"
 		if i < len(mrStats) {
 			mrc = mrStats[i].CumulativeWall.Round(time.Millisecond).String()
 			mrx = mrStats[i].CumulativeExInit.Round(time.Millisecond).String()
 		}
 		if i < len(imrPer) {
-			imr = imrPer[i].CompletedAt.Round(time.Millisecond).String()
+			imrc = imrPer[i].CompletedAt.Round(time.Millisecond).String()
 		}
-		fmt.Printf("%-6d %-18s %-18s %-14s\n", i+1, mrc, mrx, imr)
+		fmt.Printf("%-6d %-18s %-18s %-14s\n", i+1, mrc, mrx, imrc)
 	}
 	fmt.Printf("\nMapReduce total:  %v (%d jobs launched)\n", mrTotal.Round(time.Millisecond), iters)
 	fmt.Printf("iMapReduce total: %v (1 job, init %v)\n", imrTotal.Round(time.Millisecond), imrInit.Round(time.Millisecond))
@@ -61,44 +65,53 @@ func newSpec() cluster.Spec {
 	return spec
 }
 
-func runBaseline(g *graph.Graph) ([]mapreduce.IterStats, time.Duration) {
+func newCluster(m *metrics.Set) *imr.Cluster {
 	spec := newSpec()
-	m := metrics.NewSet()
-	fs := dfs.New(dfs.DefaultConfig(), spec.IDs(), m)
-	eng, err := mapreduce.NewEngine(fs, spec, m, mapreduce.Options{LocalityAware: true})
+	c, err := imr.NewCluster(imr.Options{Spec: &spec, Metrics: m})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := fs.WriteFile("/in", "worker-0", sssp.CombinedPairs(g, 0), sssp.CombinedOps()); err != nil {
+	return c
+}
+
+func runBaseline(g *graph.Graph) ([]mapreduce.IterStats, time.Duration) {
+	m := metrics.NewSet()
+	c := newCluster(m)
+	if err := c.Write("/in", sssp.CombinedPairs(g, 0), sssp.CombinedOps()); err != nil {
 		log.Fatal(err)
 	}
-	res, err := mapreduce.RunIterative(eng, sssp.MRSpec("sssp-mr", "/in", "/work", 4, iters, 0))
+	chain := sssp.MRSpec("sssp-mr", "/in", "/work", 4, iters, 0)
+	h, err := c.Submit(context.Background(), imr.JobSpec{Chain: &chain}, imr.SubmitOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := h.Result()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("baseline shuffled %.1f MB in total (state AND adjacency every iteration)\n",
 		float64(m.Get(metrics.ShuffleBytes))/(1<<20))
-	return res.Stats, res.TotalWall
+	return res.Chain.Stats, res.Chain.TotalWall
 }
 
 func runIMapReduce(g *graph.Graph) ([]core.IterInfo, time.Duration, time.Duration) {
-	spec := newSpec()
 	m := metrics.NewSet()
-	fs := dfs.New(dfs.DefaultConfig(), spec.IDs(), m)
-	eng, err := core.NewEngine(fs, transport.NewChanNetwork(), spec, m, core.Options{})
+	c := newCluster(m)
+	if err := sssp.WriteInputs(c.FS, c.Spec.IDs()[0], g, 0, "/static", "/state"); err != nil {
+		log.Fatal(err)
+	}
+	job := sssp.IMRJob(sssp.IMRConfig{
+		Name: "sssp-imr", StaticPath: "/static", StatePath: "/state", MaxIter: iters,
+	})
+	h, err := c.Submit(context.Background(), imr.JobSpec{Iterative: job}, imr.SubmitOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sssp.WriteInputs(fs, "worker-0", g, 0, "/static", "/state"); err != nil {
-		log.Fatal(err)
-	}
-	res, err := eng.Run(sssp.IMRJob(sssp.IMRConfig{
-		Name: "sssp-imr", StaticPath: "/static", StatePath: "/state", MaxIter: iters,
-	}))
+	res, err := h.Result()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("iMapReduce shuffled %.1f MB in total (distance messages only)\n\n",
 		float64(m.Get(metrics.ShuffleBytes))/(1<<20))
-	return res.PerIter, res.TotalWall, res.InitTime
+	return res.Iterative.PerIter, res.Iterative.TotalWall, res.Iterative.InitTime
 }

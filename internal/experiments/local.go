@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -91,7 +92,7 @@ func runGraphFigure(cfg Config, id, title, dataset, algo string, iters int, pape
 		if err := envMR.fs.WriteFile("/in", envMR.at(), sssp.CombinedPairs(g, 0), sssp.CombinedOps()); err != nil {
 			return nil, err
 		}
-		res, err := mapreduce.RunIterative(envMR.mr, sssp.MRSpec("mr-"+dataset, "/in", "/work", cfg.Workers, iters, 0))
+		res, err := mapreduce.RunIterativeCtx(context.Background(), envMR.mr, sssp.MRSpec("mr-"+dataset, "/in", "/work", cfg.Workers, iters, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +101,7 @@ func runGraphFigure(cfg Config, id, title, dataset, algo string, iters int, pape
 		if err := envMR.fs.WriteFile("/in", envMR.at(), pagerank.CombinedPairs(g), pagerank.CombinedOps()); err != nil {
 			return nil, err
 		}
-		res, err := mapreduce.RunIterative(envMR.mr, pagerank.MRSpec("mr-"+dataset, "/in", "/work", g.N, cfg.Workers, iters, 0))
+		res, err := mapreduce.RunIterativeCtx(context.Background(), envMR.mr, pagerank.MRSpec("mr-"+dataset, "/in", "/work", g.N, cfg.Workers, iters, 0))
 		if err != nil {
 			return nil, err
 		}

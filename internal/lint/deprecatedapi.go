@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeprecatedAPI flags module code calling functions or methods the
+// module itself has marked with a standard "Deprecated:" doc line. PR 8
+// deprecated the blocking entry points (imr.RunJob and friends) in
+// favour of the Submit handle API, but nothing enforced the migration —
+// examples and experiments kept compiling against the old wrappers
+// indefinitely. A deprecated function may freely call other deprecated
+// functions (the wrappers delegate to each other); everyone else gets
+// told what to use instead, verbatim from the doc comment.
+var DeprecatedAPI = &Analyzer{
+	Name: "deprecatedapi",
+	Doc: "no calls to module functions marked \"Deprecated:\" outside other " +
+		"deprecated functions (the doc line's replacement advice is quoted " +
+		"in the finding)",
+	RunModule: runDeprecatedAPI,
+}
+
+func runDeprecatedAPI(pass *ModulePass) {
+	// Pass 1: every deprecated function declared anywhere in the module.
+	dep := map[*types.Func]string{}
+	for _, pkg := range pass.Mod.Pkgs {
+		for _, df := range funcDeclsOf(pkg) {
+			if df.obj == nil {
+				continue
+			}
+			if note := deprecationNote(df.decl.Doc); note != "" {
+				dep[df.obj] = note
+			}
+		}
+	}
+	if len(dep) == 0 {
+		return
+	}
+
+	// Pass 2: call sites. Function bodies are scanned unless the caller
+	// is itself deprecated; package-level variable initializers are
+	// scanned too (a var bound to a deprecated result is a call site).
+	for _, pkg := range pass.Mod.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, df := range funcDeclsOf(pkg) {
+			if df.obj != nil && dep[df.obj] != "" {
+				continue
+			}
+			reportDeprecatedCalls(pass, pkg, df.decl.Body, dep)
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.AST.Decls {
+				if gd, ok := d.(*ast.GenDecl); ok {
+					reportDeprecatedCalls(pass, pkg, gd, dep)
+				}
+			}
+		}
+	}
+}
+
+func reportDeprecatedCalls(pass *ModulePass, pkg *Package, root ast.Node, dep map[*types.Func]string) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(pkg.Info, call)
+		if callee == nil {
+			return true
+		}
+		note, ok := dep[callee]
+		if !ok {
+			return true
+		}
+		pass.Reportf(pkg, call.Pos(), "call to deprecated %s (%s)",
+			shortFuncName(callee), note)
+		return true
+	})
+}
+
+// deprecationNote extracts the first "Deprecated:" line of a doc
+// comment, trimmed, in the standard Go convention.
+func deprecationNote(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Deprecated:") {
+			return line
+		}
+	}
+	return ""
+}
+
+// shortFuncName renders a function for findings without the module's
+// import-path noise: mapreduce.RunIterative, (*imr.Cluster).RunJob.
+func shortFuncName(f *types.Func) string {
+	full := f.FullName()
+	full = strings.ReplaceAll(full, "imapreduce/internal/", "")
+	return strings.ReplaceAll(full, "imapreduce/", "")
+}

@@ -1,14 +1,18 @@
 // Package lint is the project's static-analysis framework: a small,
-// stdlib-only (go/ast, go/parser, go/token) harness for analyzers that
-// encode invariants of *this* codebase — the deadlock, tracing,
-// error-handling, and determinism rules the concurrent engine, the
-// transport, and the seeded chaos harness depend on but that go vet
-// cannot see.
+// stdlib-only (go/ast, go/parser, go/token, go/types, go/importer)
+// harness for analyzers that encode invariants of *this* codebase — the
+// deadlock, tracing, error-handling, protocol-exhaustiveness, and
+// determinism rules the concurrent engine, the transport, and the
+// seeded chaos harness depend on but that go vet cannot see.
 //
-// An Analyzer inspects one parsed package at a time and reports
-// Findings at token positions. The cmd/imrlint driver loads every
+// The loader type-checks the whole module from source (dependencies
+// resolve from compiled export data), so analyzers see types.Info
+// facts, not just names. Per-package Analyzers inspect one checked
+// package at a time; module Analyzers (RunModule) see every loaded
+// package at once — the call graph, lock-order graph, and wire-protocol
+// dispatch maps live at that level. The cmd/imrlint driver loads every
 // package under the module, runs all registered analyzers, and exits
-// non-zero on any finding, so CI enforces the invariants on every
+// non-zero on any new finding, so CI enforces the invariants on every
 // change.
 //
 // A finding can be suppressed — sparingly, with a reason — by placing
@@ -22,6 +26,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"regexp"
 	"sort"
 	"strings"
@@ -38,7 +43,7 @@ type File struct {
 }
 
 // Package is the unit of analysis: all (non-test, unless the driver was
-// asked otherwise) files of one directory.
+// asked otherwise) files of one directory, parsed and type-checked.
 type Package struct {
 	// Path is the package's import path, e.g. "imapreduce/internal/core".
 	Path string
@@ -46,6 +51,22 @@ type Package struct {
 	Fset *token.FileSet
 	// Files are the package's parsed sources.
 	Files []*File
+	// Types is the checked package (may be incomplete when TypeErrors is
+	// non-empty — fixtures are checked leniently).
+	Types *types.Package
+	// Info holds the resolved uses/defs/types/selections for Files. Nil
+	// only for hand-built packages; analyzers fall back to syntactic
+	// matching for expressions Info cannot resolve.
+	Info *types.Info
+	// TypeErrors are the type-check diagnostics (empty for packages
+	// loaded by LoadPackages, which treats them as load errors).
+	TypeErrors []error
+}
+
+// Module is the whole analyzed source set — every loaded Package.
+// Module analyzers (Analyzer.RunModule) see all of it at once.
+type Module struct {
+	Pkgs []*Package
 }
 
 // Finding is one reported invariant violation.
@@ -76,20 +97,42 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one named check.
+// ModulePass is the context handed to a module analyzer's RunModule:
+// the whole loaded source set at once.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Mod      *Module
+	findings []Finding
+}
+
+// Reportf records a finding at pos, which must belong to pkg's FileSet.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check. Exactly one of Run (per-package) and
+// RunModule (whole source set) is set.
 type Analyzer struct {
 	// Name identifies the analyzer in findings and in imrlint:ignore
 	// directives.
 	Name string
 	// Doc is the one-paragraph description `imrlint -list` prints.
 	Doc string
-	// Match, when non-nil, restricts the analyzer to (package path,
-	// file base name) pairs it returns true for. A nil Match analyzes
-	// everything.
+	// Match, when non-nil, restricts a per-package analyzer to (package
+	// path, file base name) pairs it returns true for. A nil Match
+	// analyzes everything. Module analyzers scope themselves.
 	Match func(pkgPath, fileBase string) bool
 	// Run inspects the files of pass.Pkg that survived Match and
 	// reports findings through pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule inspects every loaded package at once — for invariants
+	// that live in cross-package contracts (dispatch exhaustiveness,
+	// lock ordering, context flow, deprecation).
+	RunModule func(pass *ModulePass)
 }
 
 // All returns the project's analyzer suite in a stable order.
@@ -101,6 +144,11 @@ func All() []*Analyzer {
 		SimDeterminism,
 		MetricKey,
 		SlabRetain,
+		ProtoExhaustive,
+		LockOrder,
+		CtxFlow,
+		DeprecatedAPI,
+		ErrWrapCheck,
 	}
 }
 
@@ -114,13 +162,20 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// Run executes each analyzer over each package and returns every
-// unsuppressed finding, sorted by file, line, column, then analyzer.
+// Run executes each analyzer over each package (module analyzers run
+// once over the whole set) and returns every unsuppressed finding,
+// sorted by file, line, column, then analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var out []Finding
+	mod := &Module{Pkgs: pkgs}
+	allSup := suppressionSet{}
 	for _, pkg := range pkgs {
 		sup := suppressions(pkg)
+		allSup.merge(sup)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			files := pkg.Files
 			if a.Match != nil {
 				files = nil
@@ -133,7 +188,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 					continue
 				}
 			}
-			pass := &Pass{Analyzer: a, Pkg: &Package{Path: pkg.Path, Fset: pkg.Fset, Files: files}}
+			pass := &Pass{Analyzer: a, Pkg: &Package{
+				Path: pkg.Path, Fset: pkg.Fset, Files: files,
+				Types: pkg.Types, Info: pkg.Info, TypeErrors: pkg.TypeErrors,
+			}}
 			a.Run(pass)
 			for _, f := range pass.findings {
 				if sup.covers(f) {
@@ -141,6 +199,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				}
 				out = append(out, f)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		pass := &ModulePass{Analyzer: a, Mod: mod}
+		a.RunModule(pass)
+		for _, f := range pass.findings {
+			if allSup.covers(f) {
+				continue
+			}
+			out = append(out, f)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -172,6 +243,24 @@ var ignoreRe = regexp.MustCompile(`imrlint:ignore\s+([A-Za-z0-9_,-]+)`)
 
 // suppressionSet records, per file, the lines each analyzer is muted on.
 type suppressionSet map[string]map[int]map[string]bool // file -> line -> analyzer set
+
+func (s suppressionSet) merge(other suppressionSet) {
+	for file, byLine := range other {
+		if s[file] == nil {
+			s[file] = byLine
+			continue
+		}
+		for line, names := range byLine {
+			if s[file][line] == nil {
+				s[file][line] = names
+				continue
+			}
+			for n := range names {
+				s[file][line][n] = true
+			}
+		}
+	}
+}
 
 func (s suppressionSet) covers(f Finding) bool {
 	byLine := s[f.Pos.Filename]

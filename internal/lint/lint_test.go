@@ -10,113 +10,118 @@ import (
 )
 
 // fixturePkg is the package path each analyzer's fixtures pretend to
-// live at, chosen so the analyzer's Match accepts them (simdeterminism
+// live at, chosen so the analyzer's scope accepts them (simdeterminism
 // only looks at the simulator packages; metrickey skips internal/metrics
-// and internal/trace).
+// and internal/trace; protoexhaustive reads the transport and core
+// paths).
 var fixturePkg = map[string]string{
-	"lockedsend":     "imapreduce/internal/transport",
-	"spanpair":       "imapreduce/internal/core",
-	"sendcheck":      "imapreduce/internal/core",
-	"simdeterminism": "imapreduce/internal/sim",
-	"metrickey":      "imapreduce/internal/core",
-	"slabretain":     "imapreduce/internal/core",
+	"lockedsend":      "imapreduce/internal/transport",
+	"spanpair":        "imapreduce/internal/core",
+	"sendcheck":       "imapreduce/internal/core",
+	"simdeterminism":  "imapreduce/internal/sim",
+	"metrickey":       "imapreduce/internal/core",
+	"slabretain":      "imapreduce/internal/core",
+	"protoexhaustive": "imapreduce/internal/transport",
+	"lockorder":       "imapreduce/internal/core",
+	"ctxflow":         "imapreduce/internal/core",
+	"deprecatedapi":   "imapreduce/internal/core",
+	"errwrapcheck":    "imapreduce/internal/core",
 }
 
 // wantRe extracts the expectation regex from a `// want "..."` (or
 // backquoted) comment.
 var wantRe = regexp.MustCompile("// want (\"[^\"]*\"|`[^`]*`)")
 
-// TestFixtures runs each analyzer over its testdata/<name> directory.
-// Files named bad*.go must produce exactly the findings their `// want`
-// comments describe; files named good*.go must produce none — the
+// fixtureKey addresses one fixture line across the whole directory.
+type fixtureKey struct {
+	file string
+	line int
+}
+
+// TestFixtures loads each analyzer's testdata/<name> directory as one
+// package — bad and good files see each other's declarations, so the
+// typed facts resolve — and runs the analyzer once over it. Files named
+// bad*.go must produce exactly the findings their `// want` comments
+// describe; files named good*.go must produce none — the
 // no-false-positive half of each analyzer's contract.
 func TestFixtures(t *testing.T) {
 	for _, a := range All() {
 		t.Run(a.Name, func(t *testing.T) {
+			pkgPath := fixturePkg[a.Name]
+			if pkgPath == "" {
+				t.Fatalf("no fixture package path registered for analyzer %s", a.Name)
+			}
 			dir := filepath.Join("testdata", a.Name)
-			entries, err := os.ReadDir(dir)
+			pkg, err := LoadFixtureDir(pkgPath, dir)
 			if err != nil {
 				t.Fatalf("no fixtures for analyzer %s: %v", a.Name, err)
 			}
-			ran := 0
-			for _, e := range entries {
-				if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			if len(pkg.Files) < 2 {
+				t.Fatalf("analyzer %s must have at least a bad and a good fixture, found %d file(s)",
+					a.Name, len(pkg.Files))
+			}
+			findings := Run([]*Package{pkg}, []*Analyzer{a})
+
+			wants := map[fixtureKey][]string{}
+			for _, f := range pkg.Files {
+				src, err := os.ReadFile(f.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := filepath.Base(f.Name)
+				n := 0
+				for i, line := range strings.Split(string(src), "\n") {
+					for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+						pat, err := strconv.Unquote(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", f.Name, i+1, m[1], err)
+						}
+						wants[fixtureKey{base, i + 1}] = append(wants[fixtureKey{base, i + 1}], pat)
+						n++
+					}
+				}
+				if strings.HasPrefix(base, "good") && n > 0 {
+					t.Fatalf("%s: good fixtures must not carry want comments", f.Name)
+				}
+			}
+
+			got := map[fixtureKey][]string{}
+			for _, fd := range findings {
+				k := fixtureKey{filepath.Base(fd.Pos.Filename), fd.Pos.Line}
+				got[k] = append(got[k], fd.Message)
+			}
+
+			for k, pats := range wants {
+				msgs := got[k]
+				if len(msgs) != len(pats) {
+					t.Errorf("%s:%d: want %d finding(s) matching %q, got %d: %q",
+						k.file, k.line, len(pats), pats, len(msgs), msgs)
 					continue
 				}
-				runFixture(t, a, filepath.Join(dir, e.Name()))
-				ran++
-			}
-			if ran < 2 {
-				t.Fatalf("analyzer %s must have at least a bad and a good fixture, found %d file(s)", a.Name, ran)
-			}
-		})
-	}
-}
-
-func runFixture(t *testing.T, a *Analyzer, path string) {
-	t.Helper()
-	src, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkgPath := fixturePkg[a.Name]
-	if pkgPath == "" {
-		t.Fatalf("no fixture package path registered for analyzer %s", a.Name)
-	}
-	pkg, err := ParseSource(pkgPath, path, string(src))
-	if err != nil {
-		t.Fatalf("parse %s: %v", path, err)
-	}
-	findings := Run([]*Package{pkg}, []*Analyzer{a})
-
-	wants := map[int][]string{} // line -> expectation regexes
-	for i, line := range strings.Split(string(src), "\n") {
-		for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
-			pat, err := strconv.Unquote(m[1])
-			if err != nil {
-				t.Fatalf("%s:%d: bad want string %s: %v", path, i+1, m[1], err)
-			}
-			wants[i+1] = append(wants[i+1], pat)
-		}
-	}
-	if strings.HasPrefix(filepath.Base(path), "good") && len(wants) > 0 {
-		t.Fatalf("%s: good fixtures must not carry want comments", path)
-	}
-
-	got := map[int][]string{} // line -> finding messages
-	for _, f := range findings {
-		got[f.Pos.Line] = append(got[f.Pos.Line], f.Message)
-	}
-
-	for line, pats := range wants {
-		msgs := got[line]
-		if len(msgs) != len(pats) {
-			t.Errorf("%s:%d: want %d finding(s) matching %q, got %d: %q",
-				path, line, len(pats), pats, len(msgs), msgs)
-			continue
-		}
-		claimed := make([]bool, len(msgs))
-		for _, pat := range pats {
-			re, err := regexp.Compile(pat)
-			if err != nil {
-				t.Fatalf("%s:%d: bad want regex %q: %v", path, line, pat, err)
-			}
-			matched := false
-			for i, msg := range msgs {
-				if !claimed[i] && re.MatchString(msg) {
-					claimed[i], matched = true, true
-					break
+				claimed := make([]bool, len(msgs))
+				for _, pat := range pats {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regex %q: %v", k.file, k.line, pat, err)
+					}
+					matched := false
+					for i, msg := range msgs {
+						if !claimed[i] && re.MatchString(msg) {
+							claimed[i], matched = true, true
+							break
+						}
+					}
+					if !matched {
+						t.Errorf("%s:%d: no finding matches %q (got %q)", k.file, k.line, pat, msgs)
+					}
 				}
 			}
-			if !matched {
-				t.Errorf("%s:%d: no finding matches %q (got %q)", path, line, pat, msgs)
+			for k, msgs := range got {
+				if _, expected := wants[k]; !expected {
+					t.Errorf("%s:%d: unexpected finding(s): %q", k.file, k.line, msgs)
+				}
 			}
-		}
-	}
-	for line, msgs := range got {
-		if _, expected := wants[line]; !expected {
-			t.Errorf("%s:%d: unexpected finding(s): %q", path, line, msgs)
-		}
+		})
 	}
 }
 
@@ -135,7 +140,9 @@ func TestByName(t *testing.T) {
 
 // TestSuppressionDirective checks the imrlint:ignore forms the fixtures
 // don't cover: same-line placement, the multi-name list, and the "all"
-// wildcard.
+// wildcard. The endpoint type is deliberately undefined — the lenient
+// fixture check records the type error and sendcheck falls back to its
+// syntactic matching, which is itself part of the contract.
 func TestSuppressionDirective(t *testing.T) {
 	const src = `package p
 
@@ -151,11 +158,75 @@ func f(ep endpoint) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(pkg.TypeErrors) == 0 {
+		t.Fatal("expected lenient type errors for the undefined endpoint type")
+	}
 	findings := Run([]*Package{pkg}, []*Analyzer{SendCheck})
 	if len(findings) != 1 {
 		t.Fatalf("want exactly 1 surviving finding, got %d: %v", len(findings), findings)
 	}
 	if findings[0].Pos.Line != 8 {
 		t.Errorf("surviving finding on line %d, want line 8 (the wrong-analyzer directive)", findings[0].Pos.Line)
+	}
+}
+
+// TestLenientTypeErrors pins the fixture loader's contract: source that
+// does not type-check still parses, the errors are recorded with
+// positions, and the package is still analyzable.
+func TestLenientTypeErrors(t *testing.T) {
+	const src = `package p
+
+func f() {
+	undefinedThing()
+	var x int = "not an int"
+	_ = x
+}
+`
+	pkg, err := ParseSource("imapreduce/internal/core", "broken.go", src)
+	if err != nil {
+		t.Fatalf("lenient parse must not fail on type errors: %v", err)
+	}
+	if len(pkg.TypeErrors) < 2 {
+		t.Fatalf("want at least 2 recorded type errors, got %d: %v", len(pkg.TypeErrors), pkg.TypeErrors)
+	}
+	for _, e := range pkg.TypeErrors {
+		if !strings.Contains(e.Error(), "broken.go") {
+			t.Errorf("type error lacks a file position: %v", e)
+		}
+	}
+	if pkg.Info == nil || pkg.Types == nil {
+		t.Fatal("lenient check must still produce Types and Info")
+	}
+}
+
+// TestLoadPackagesStrict pins the module loader's contract: type errors
+// in a real (non-fixture) load are load failures, reported with
+// positions, not silently tolerated.
+func TestLoadPackagesStrict(t *testing.T) {
+	dir := t.TempDir()
+	writeTestFile(t, filepath.Join(dir, "go.mod"), "module brokenmod\n\ngo 1.22\n")
+	writeTestFile(t, filepath.Join(dir, "main.go"), "package main\n\nfunc main() { undefinedThing() }\n")
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	_, err = LoadPackages([]string{"."}, LoadOptions{})
+	if err == nil {
+		t.Fatal("LoadPackages must fail on code that does not type-check")
+	}
+	if !strings.Contains(err.Error(), "type check failed") ||
+		!strings.Contains(err.Error(), "undefinedThing") {
+		t.Errorf("load error should name the type failure, got: %v", err)
+	}
+}
+
+func writeTestFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // LockedSend flags transport sends performed while a sync.Mutex or
@@ -26,17 +27,35 @@ var LockedSend = &Analyzer{
 }
 
 // sendCallNames are the callee names lockedsend treats as potentially
-// blocking transport sends.
+// blocking transport sends. With type information the name is only a
+// pre-filter: the resolved callee must also return an error as its last
+// result (every transport-style send does; a same-named method without
+// one is not a send).
 var sendCallNames = map[string]bool{
 	"Send":         true, // transport.Endpoint.Send
 	"ReliableSend": true, // transport.ReliableSend
 	"sendReliable": true, // core.Engine.sendReliable
 }
 
+// syncLockMethods are the fully-qualified mutex operations. A resolved
+// Lock/Unlock call that is NOT one of these (a cache's Lock method, a
+// lease's Unlock) is no mutex operation at all — the typed port kills
+// that whole name-collision class in both directions.
+var syncLockMethods = map[string]bool{
+	"(*sync.Mutex).Lock":      true,
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Lock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RLock":   true,
+	"(*sync.RWMutex).RUnlock": true,
+	"(sync.Locker).Lock":      true,
+	"(sync.Locker).Unlock":    true,
+}
+
 func runLockedSend(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
 		for _, fb := range functionBodies(f.AST) {
-			ls := &lockScan{pass: pass, fn: fb.name, held: map[string]token.Pos{}}
+			ls := &lockScan{pass: pass, info: pass.Pkg.Info, fn: fb.name, held: map[string]token.Pos{}}
 			ls.scanStmts(fb.body.List, false)
 		}
 	}
@@ -47,6 +66,7 @@ func runLockedSend(pass *Pass) {
 // copy of the held set (they are alternatives, not a sequence).
 type lockScan struct {
 	pass *Pass
+	info *types.Info
 	fn   string
 	held map[string]token.Pos // receiver text -> Lock() position
 }
@@ -199,6 +219,13 @@ func (ls *lockScan) checkExpr(e ast.Expr) {
 			return true
 		}
 		if recv, name, ok := selectorCall(call); ok && sendCallNames[name] {
+			if callee := calleeOf(ls.info, call); callee != nil {
+				if !lastResultIsError(callee) {
+					return true // a Send without an error result is not a transport send
+				}
+			} else if resolvedCall(ls.info, call) {
+				return true // resolved to a non-function (field, conversion)
+			}
 			held, pos := ls.anyHeld()
 			target := name
 			if recv != "" {
@@ -220,6 +247,9 @@ func (ls *lockScan) lockOp(call *ast.CallExpr, isDefer bool) bool {
 	recv, name, ok := selectorCall(call)
 	if !ok || recv == "" {
 		return false
+	}
+	if callee := calleeOf(ls.info, call); callee != nil && !syncLockMethods[callee.FullName()] {
+		return false // Lock/Unlock by name on something that is not a mutex
 	}
 	switch name {
 	case "Lock", "RLock":

@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module-wide mutex acquisition-order graph and
+// reports cycles. Each statically identifiable mutex — a sync.Mutex or
+// RWMutex field of a named type, a package-level mutex variable, or a
+// type with an embedded mutex — is one node, keyed by type, not by
+// instance (the order discipline is per-type). Acquiring B while A is
+// held adds the edge A→B; calls made under a lock contribute edges to
+// every mutex the callee may (transitively) acquire, via the module
+// call graph. Any strongly connected component with two or more nodes
+// is an order inversion: two goroutines interleaving the two paths
+// deadlock. Every edge inside such a component is reported at its
+// acquisition (or call) site.
+//
+// Local mutex variables are untracked — they cannot participate in a
+// cross-goroutine cycle. Goroutine bodies spawned with `go` are scanned
+// as their own scope by the call-graph walk, so a spawner's held set
+// does not leak into them. TryLock establishes no edge: it fails rather
+// than waits.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "mutex acquisition order must be acyclic across the module " +
+		"(acquiring B under A on one path and A under B on another " +
+		"deadlocks; edges through calls count)",
+	RunModule: runLockOrder,
+}
+
+// heldCall records a function call made while locks are held; the
+// callee's transitive acquisitions become order edges from each held
+// mutex.
+type heldCall struct {
+	callee *types.Func
+	held   []string
+	pkg    *Package
+	pos    token.Pos
+}
+
+// orderEdge is one acquisition-order fact, kept at its first witness.
+type orderEdge struct {
+	from, to string
+	pkg      *Package
+	pos      token.Pos
+	via      string // callee short name for call-mediated edges
+}
+
+func runLockOrder(pass *ModulePass) {
+	cg := buildCallGraph(pass.Mod)
+
+	direct := map[*types.Func]map[string]bool{} // per-function direct acquisitions
+	edges := map[[2]string]orderEdge{}
+	var calls []heldCall
+
+	addEdge := func(e orderEdge) {
+		k := [2]string{e.from, e.to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = e
+		}
+	}
+
+	for _, pkg := range pass.Mod.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, df := range funcDeclsOf(pkg) {
+			if df.obj == nil {
+				continue
+			}
+			acquired := map[string]bool{}
+			direct[df.obj] = acquired
+			held := map[string]bool{}
+			deferredCalls := map[*ast.CallExpr]bool{}
+			walkCallerScope(df.decl.Body, func(n ast.Node) {
+				switch x := n.(type) {
+				case *ast.DeferStmt:
+					deferredCalls[x.Call] = true
+				case *ast.CallExpr:
+					if key, acquire, ok := lockKeyOp(pkg.Info, x); ok {
+						if deferredCalls[x] {
+							return // defer mu.Unlock(): held until return
+						}
+						if acquire {
+							for h := range held {
+								if h != key {
+									addEdge(orderEdge{from: h, to: key, pkg: pkg, pos: x.Pos()})
+								}
+							}
+							held[key] = true
+							acquired[key] = true
+						} else {
+							delete(held, key)
+						}
+						return
+					}
+					if len(held) == 0 {
+						return
+					}
+					if callee := calleeOf(pkg.Info, x); callee != nil {
+						hc := heldCall{callee: callee, pkg: pkg, pos: x.Pos()}
+						for h := range held {
+							hc.held = append(hc.held, h)
+						}
+						calls = append(calls, hc)
+					}
+				}
+			})
+		}
+	}
+
+	// Transitive closure of acquisitions through the call graph.
+	acq := map[*types.Func]map[string]bool{}
+	for fn, d := range direct {
+		set := map[string]bool{}
+		for k := range d {
+			set[k] = true
+		}
+		acq[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range acq {
+			for callee := range cg.callees[fn] {
+				for k := range acq[callee] {
+					if !acq[fn][k] {
+						acq[fn][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, hc := range calls {
+		for to := range acq[hc.callee] {
+			for _, from := range hc.held {
+				if from != to {
+					addEdge(orderEdge{from: from, to: to, pkg: hc.pkg, pos: hc.pos,
+						via: hc.callee.Name()})
+				}
+			}
+		}
+	}
+
+	// Strongly connected components of two or more nodes are inversions.
+	for _, scc := range lockSCCs(edges) {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		sort.Strings(scc)
+		cycle := strings.Join(scc, ", ")
+		for _, e := range sortedEdges(edges) {
+			if !inSCC[e.from] || !inSCC[e.to] {
+				continue
+			}
+			if e.via != "" {
+				pass.Reportf(e.pkg, e.pos,
+					"call to %s acquires %s while %s is held, completing a lock-order cycle among {%s}; acquire these locks in one global order",
+					e.via, e.to, e.from, cycle)
+			} else {
+				pass.Reportf(e.pkg, e.pos,
+					"%s acquired while %s is held, completing a lock-order cycle among {%s}; acquire these locks in one global order",
+					e.to, e.from, cycle)
+			}
+		}
+	}
+}
+
+func sortedEdges(edges map[[2]string]orderEdge) []orderEdge {
+	out := make([]orderEdge, 0, len(edges))
+	for _, e := range edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].from != out[j].from {
+			return out[i].from < out[j].from
+		}
+		return out[i].to < out[j].to
+	})
+	return out
+}
+
+// lockSCCs runs Tarjan's algorithm over the order graph.
+func lockSCCs(edges map[[2]string]orderEdge) [][]string {
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		nodes[k[0]], nodes[k[1]] = true, true
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+	for _, vs := range adj {
+		sort.Strings(vs)
+	}
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+// lockKeyOp classifies call as a tracked mutex operation: ok reports
+// whether it is one, acquire distinguishes Lock/RLock from
+// Unlock/RUnlock, and key names the mutex. Resolution is required —
+// lockorder has no syntactic fallback; an unresolved Lock is somebody
+// else's Lock.
+func lockKeyOp(info *types.Info, call *ast.CallExpr) (key string, acquire, ok bool) {
+	callee := calleeOf(info, call)
+	if callee == nil || !syncLockMethods[callee.FullName()] {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	key, ok = lockKey(info, sel.X)
+	if !ok {
+		return "", false, false
+	}
+	switch callee.Name() {
+	case "Lock", "RLock":
+		return key, true, true
+	default: // Unlock, RUnlock
+		return key, false, true
+	}
+}
+
+// lockKey canonicalizes the receiver of a mutex operation. Keys are
+// "pkg.Type" for embedded mutexes, "pkg.Type.field" for mutex fields,
+// and "pkg.var" for package-level mutex variables; locals yield !ok.
+func lockKey(info *types.Info, recv ast.Expr) (string, bool) {
+	recv = ast.Unparen(recv)
+	// Embedded mutex: the receiver is the owning struct, not a mutex.
+	if n := namedOf(exprType(info, recv)); n != nil {
+		if o := n.Obj(); o.Pkg() != nil && o.Pkg().Path() != "sync" {
+			return o.Pkg().Name() + "." + o.Name(), true
+		}
+	}
+	switch x := recv.(type) {
+	case *ast.SelectorExpr:
+		v, ok := info.Uses[x.Sel].(*types.Var)
+		if !ok {
+			return "", false
+		}
+		if v.IsField() {
+			if owner := namedOf(exprType(info, x.X)); owner != nil && owner.Obj().Pkg() != nil {
+				return owner.Obj().Pkg().Name() + "." + owner.Obj().Name() + "." + v.Name(), true
+			}
+			return "", false
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+	}
+	return "", false
+}

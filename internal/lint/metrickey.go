@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -54,14 +55,27 @@ func runMetricKey(pass *Pass) {
 			if !ok || recv == "" || len(call.Args) == 0 {
 				return true
 			}
+			// Typed gates: a resolved callee must have the shape of the
+			// real API — metric methods take a plain string name first,
+			// trace methods take a defined Kind first. Same-named methods
+			// elsewhere (wg.Add, logger.Emit(msg string)) are exempt.
+			callee := calleeOf(pass.Pkg.Info, call)
 			switch {
 			case metricNameMethods[name]:
+				if callee != nil && !firstParamIs(callee, isBasicString) {
+					return true
+				}
 				if lit, isLit := stringLit(call.Args[0]); isLit {
 					pass.Reportf(call.Args[0].Pos(),
 						"metric name %q passed as a string literal to %s.%s; use a constant from internal/metrics (a typo silently splits the series)",
 						lit, recv, name)
 				}
 			case traceKindMethods[name]:
+				if callee != nil && !firstParamIs(callee, func(t types.Type) bool {
+					return typeName(t) == "Kind"
+				}) {
+					return true
+				}
 				if lit, isLit := kindLiteral(call.Args[0]); isLit {
 					pass.Reportf(call.Args[0].Pos(),
 						"trace kind %q passed as a literal to %s.%s; use a declared trace.Kind constant (the decomposition matches kinds exactly)",

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // SendCheck flags silently discarded error results of the calls that
@@ -54,6 +55,21 @@ func runSendCheck(pass *Pass) {
 			}
 			recv, name, ok := selectorCall(call)
 			if !ok || !checkedCallNames[name] {
+				return true
+			}
+			// Typed gate: the callee must actually return an error, and
+			// WriteFile/Rename must be methods — os.WriteFile and os.Rename
+			// are not the DFS commit path this analyzer guards.
+			if callee := calleeOf(pass.Pkg.Info, call); callee != nil {
+				if !lastResultIsError(callee) {
+					return true
+				}
+				if name == "WriteFile" || name == "Rename" {
+					if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() == nil {
+						return true
+					}
+				}
+			} else if resolvedCall(pass.Pkg.Info, call) {
 				return true
 			}
 			target := name

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -56,6 +57,13 @@ func runSimDeterminism(pass *Pass) {
 
 		ast.Inspect(f.AST, func(n ast.Node) bool {
 			if call, ok := n.(*ast.CallExpr); ok {
+				// Typed path: resolve the callee and classify by package,
+				// which also catches dot-imports and renamed imports the
+				// name match below would miss.
+				if callee := calleeOf(pass.Pkg.Info, call); callee != nil {
+					checkDeterministicCallee(pass, call, callee)
+					return true
+				}
 				recv, name, ok := selectorCall(call)
 				if !ok {
 					return true
@@ -78,13 +86,42 @@ func runSimDeterminism(pass *Pass) {
 	}
 }
 
-// checkMapRangeOrder flags `for k := range m` over a syntactically
-// known map when the loop body accumulates ordered output (append or a
-// channel send): Go randomizes map iteration order per process, so the
-// accumulated sequence differs between runs. The one sanctioned shape —
-// appending into a slice that is later passed to a sort.* or slices.*
-// call in the same function (collect keys, sort, iterate sorted) — is
-// exempt.
+// checkDeterministicCallee is the typed half of the clock/rand check:
+// the resolved callee tells us the true package regardless of how it
+// was imported. Methods on *rand.Rand are fine — a Rand is built from
+// an explicit source; only the package-level (global-source) functions
+// leak nondeterminism.
+func checkDeterministicCallee(pass *Pass, call *ast.CallExpr, callee *types.Func) {
+	full := callee.FullName()
+	if full == "time.Now" || full == "time.Since" || full == "time.Until" {
+		pass.Reportf(call.Pos(),
+			"%s reads the wall clock; seeded simulation/soak code must derive every value from the seed",
+			full)
+		return
+	}
+	pkg := callee.Pkg()
+	if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+		return
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // method on an explicitly seeded *rand.Rand
+	}
+	if seededRandCtors[callee.Name()] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s uses the global math/rand source; use a local rand.New(rand.NewSource(seed)) so the run replays from its seed",
+		exprString(call.Fun))
+}
+
+// checkMapRangeOrder flags `for k := range m` over a map — resolved
+// through type information when available, with the PR-5 syntactic
+// name tracking as fallback — when the loop body accumulates ordered
+// output (append or a channel send): Go randomizes map iteration order
+// per process, so the accumulated sequence differs between runs. The
+// one sanctioned shape — appending into a slice that is later passed
+// to a sort.* or slices.* call in the same function (collect keys,
+// sort, iterate sorted) — is exempt.
 func checkMapRangeOrder(pass *Pass, f *ast.File) {
 	for _, fb := range functionBodies(f) {
 		maps := knownMapVars(fb)
@@ -94,8 +131,13 @@ func checkMapRangeOrder(pass *Pass, f *ast.File) {
 			if !ok {
 				return true
 			}
-			id, ok := rng.X.(*ast.Ident)
-			if !ok || !maps[id.Name] {
+			isMap := false
+			if t := exprType(pass.Pkg.Info, rng.X); t != nil {
+				_, isMap = types.Unalias(t).Underlying().(*types.Map)
+			} else if id, ok := rng.X.(*ast.Ident); ok && maps[id.Name] {
+				isMap = true
+			}
+			if !isMap {
 				return true
 			}
 			if node, kind, target, found := orderedAccumulation(rng.Body); found {
@@ -104,7 +146,7 @@ func checkMapRangeOrder(pass *Pass, f *ast.File) {
 				}
 				pass.Reportf(node.Pos(),
 					"%s inside range over map %s produces map-iteration-ordered output; iterate a sorted key slice instead",
-					kind, id.Name)
+					kind, exprString(rng.X))
 			}
 			return true
 		})

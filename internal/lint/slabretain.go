@@ -3,6 +3,8 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
+	"strings"
 )
 
 // SlabRetain flags uses of a kv.Slab — or of pairs decoded through one —
@@ -50,6 +52,7 @@ func runSlabRetain(pass *Pass) {
 		for _, fb := range functionBodies(f.AST) {
 			ss := &slabScan{
 				pass:     pass,
+				info:     pass.Pkg.Info,
 				fn:       fb.name,
 				released: map[string]slabRelease{},
 				derived:  map[string]string{},
@@ -73,6 +76,7 @@ type slabRelease struct {
 // any branch stays released.
 type slabScan struct {
 	pass     *Pass
+	info     *types.Info
 	fn       string
 	released map[string]slabRelease
 	derived  map[string]string
@@ -291,6 +295,14 @@ func (ss *slabScan) trackAssign(st *ast.AssignStmt) {
 	if !ok {
 		return
 	}
+	// Typed gate: AcquireSlab/Decode*Slab must resolve to internal/kv —
+	// a same-named helper in another package does not hand out pooled
+	// memory.
+	if callee := calleeOf(ss.info, call); callee != nil {
+		if callee.Pkg() == nil || !strings.HasSuffix(callee.Pkg().Path(), "internal/kv") {
+			return
+		}
+	}
 	switch {
 	case name == "AcquireSlab":
 		// s := kv.AcquireSlab() — s is a slab; nothing to do beyond the
@@ -313,6 +325,18 @@ func (ss *slabScan) releaseOp(call *ast.CallExpr) bool {
 	recv, name, ok := selectorCall(call)
 	if !ok || recv == "" || !slabReleaseNames[name] {
 		return false
+	}
+	// Typed gate: an exported Release/ReleaseRetainValues must be a
+	// method on a type named Slab — sync.Pool-style Release methods on
+	// other types are not slab ownership transfers. The lowercase
+	// release stays name-based: it is the chunk helper's private idiom.
+	if name != "release" {
+		if callee := calleeOf(ss.info, call); callee != nil {
+			sig, ok := callee.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || typeName(sig.Recv().Type()) != "Slab" {
+				return false
+			}
+		}
 	}
 	if prev, ok := ss.released[recv]; ok && !prev.pairsOnly {
 		ss.pass.Reportf(call.Pos(),

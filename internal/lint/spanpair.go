@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // SpanPair flags trace spans opened with Begin that can be left open:
@@ -46,7 +47,7 @@ func checkSpanPairs(pass *Pass, fb funcBody) {
 		case *ast.AssignStmt:
 			for i, rhs := range st.Rhs {
 				call, ok := rhs.(*ast.CallExpr)
-				if !ok || !isBeginCall(call) || i >= len(st.Lhs) {
+				if !ok || !isBeginCall(pass.Pkg.Info, call) || i >= len(st.Lhs) {
 					continue
 				}
 				id, ok := st.Lhs[i].(*ast.Ident)
@@ -66,7 +67,7 @@ func checkSpanPairs(pass *Pass, fb funcBody) {
 		case *ast.ExprStmt:
 			if call, ok := st.X.(*ast.CallExpr); ok {
 				if recv, name, ok := selectorCall(call); ok {
-					if isBeginCall(call) {
+					if isBeginCall(pass.Pkg.Info, call) {
 						pass.Reportf(call.Pos(),
 							"result of %s discarded in %s; the span can never be ended",
 							exprString(call.Fun), fb.name)
@@ -151,8 +152,18 @@ func checkReturnsInBlock(pass *Pass, fb funcBody, sp *pendingSpan, blk *ast.Bloc
 	}
 }
 
-// isBeginCall reports whether call is <expr>.Begin(...).
-func isBeginCall(call *ast.CallExpr) bool {
+// isBeginCall reports whether call is <expr>.Begin(...) opening a span.
+// When the callee resolves, it must return exactly one value — the
+// Pending. A database-style `tx, err := db.Begin()` (two results) is a
+// transaction, not a trace span, and is exempt.
+func isBeginCall(info *types.Info, call *ast.CallExpr) bool {
 	recv, name, ok := selectorCall(call)
-	return ok && recv != "" && name == "Begin"
+	if !ok || recv == "" || name != "Begin" {
+		return false
+	}
+	if callee := calleeOf(info, call); callee != nil {
+		sig, ok := callee.Type().(*types.Signature)
+		return ok && sig.Results().Len() == 1
+	}
+	return true
 }

@@ -1,0 +1,20 @@
+// Fixture for the ctxflow analyzer: a context.Context parameter that
+// never reaches the blocking path is a cancellation lie.
+package fixture
+
+import "context"
+
+func waitDirect(ctx context.Context, ch chan int) int { // want "context parameter ctx of waitDirect is never used"
+	return <-ch
+}
+
+// Blocking transitively — the helper ranges over the channel — still
+// requires the context to flow.
+func waitViaHelper(ctx context.Context, ch chan int) { // want "context parameter ctx of waitViaHelper is never used"
+	drain(ch)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}

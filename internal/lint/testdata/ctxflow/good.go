@@ -1,0 +1,39 @@
+// The sanctioned shapes: select on Done, thread the context onward,
+// don't block at all, or name the parameter _ to ignore it on purpose.
+package fixture
+
+import "context"
+
+func selected(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func threaded(ctx context.Context, ch chan int) int {
+	return selected(ctx, ch)
+}
+
+// Computation that cannot block does not need to consult the context.
+func pure(ctx context.Context, a, b int) int {
+	return a + b
+}
+
+// The blank name is the explicit "intentionally ignored" marker.
+func ignored(_ context.Context, ch chan int) int {
+	return <-ch
+}
+
+// Handing the context to spawned background work counts as use.
+func spawned(ctx context.Context, ch, out chan int) {
+	go func() {
+		select {
+		case v := <-ch:
+			out <- v
+		case <-ctx.Done():
+		}
+	}()
+}

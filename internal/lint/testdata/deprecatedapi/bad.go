@@ -1,0 +1,22 @@
+// Fixture for the deprecatedapi analyzer: functions the module marks
+// Deprecated must not gain new callers.
+package fixture
+
+// Deprecated: use StartJob and wait on the handle instead.
+func RunJobOld(n int) int { return n }
+
+type runner struct{}
+
+// Deprecated: use RunCtx.
+func (runner) Run() {}
+
+func caller() int {
+	return RunJobOld(1) // want "call to deprecated .*RunJobOld .Deprecated: use StartJob"
+}
+
+func methodCaller(r runner) {
+	r.Run() // want "call to deprecated .*runner.*Run .Deprecated: use RunCtx"
+}
+
+// A package-level initializer is a call site too.
+var eager = RunJobOld(2) // want "call to deprecated .*RunJobOld"

@@ -1,0 +1,21 @@
+// Deprecated code may call deprecated code — the wrappers delegate to
+// each other; only live code is barred.
+package fixture
+
+// StartJob is the replacement entry point.
+func StartJob(n int) int { return n }
+
+// Deprecated: use StartJob.
+func LegacyStart(n int) int {
+	return StartJob(n)
+}
+
+// Deprecated: oldest shim; delegates to the newer deprecated wrapper,
+// which is allowed.
+func AncientStart(n int) int {
+	return LegacyStart(n)
+}
+
+func modern() int {
+	return StartJob(3)
+}

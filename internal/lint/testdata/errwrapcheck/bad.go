@@ -1,0 +1,31 @@
+// Fixture for the errwrapcheck analyzer: identity comparison against a
+// sentinel stops matching the moment anyone wraps the error upstream.
+package fixture
+
+import "errors"
+
+var (
+	ErrFull    = errors.New("queue full")
+	ErrStopped = errors.New("stopped")
+)
+
+func isFull(err error) bool {
+	return err == ErrFull // want "use errors.Is"
+}
+
+func keepGoing(err error) bool {
+	if err != ErrStopped { // want "use errors.Is"
+		return true
+	}
+	return false
+}
+
+func classify(err error) string {
+	switch err {
+	case ErrFull: // want "use errors.Is"
+		return "full"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}

@@ -1,0 +1,23 @@
+// errors.Is, nil checks, and non-sentinel comparisons are all fine.
+package fixture
+
+import "errors"
+
+func isFullGood(err error) bool {
+	return errors.Is(err, ErrFull)
+}
+
+func isNilCheck(err error) bool {
+	return err == nil
+}
+
+var lastErr error
+
+// Comparing against a non-sentinel variable is identity on purpose.
+func sameAsLast(err error) bool {
+	return err == lastErr
+}
+
+func compareInts(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,26 @@
+// Typed cases: name collisions the PR-5 syntactic analyzer flagged and
+// the type-aware port must not.
+package fixture
+
+import "sync"
+
+// gauge has Lock/Unlock by name only — not a mutex; nothing is held
+// between them.
+type gauge struct{ n int }
+
+func (g *gauge) Lock()   { g.n++ }
+func (g *gauge) Unlock() { g.n-- }
+
+// notifier.Send has no error result — not a transport send.
+type notifier struct{}
+
+func (notifier) Send(v int) {}
+
+func falseFriends(g *gauge, nf notifier, ch chan int, mu *sync.Mutex) {
+	g.Lock()
+	ch <- 1 // fine: g is not a mutex, nothing is held
+	g.Unlock()
+	mu.Lock()
+	nf.Send(2) // fine: not a transport-style send (no error result)
+	mu.Unlock()
+}

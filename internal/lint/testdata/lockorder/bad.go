@@ -1,0 +1,45 @@
+// Fixture for the lockorder analyzer: inverted acquisition orders
+// across functions complete a cycle two goroutines can deadlock on.
+package fixture
+
+import "sync"
+
+type sched struct{ mu sync.Mutex }
+type pool struct{ mu sync.Mutex }
+
+func schedThenPool(s *sched, p *pool) {
+	s.mu.Lock()
+	p.mu.Lock() // want "fixture.pool.mu acquired while fixture.sched.mu is held, completing a lock-order cycle"
+	p.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func poolThenSched(s *sched, p *pool) {
+	p.mu.Lock()
+	s.mu.Lock() // want "fixture.sched.mu acquired while fixture.pool.mu is held, completing a lock-order cycle"
+	s.mu.Unlock()
+	p.mu.Unlock()
+}
+
+type journal struct{ mu sync.Mutex }
+type index struct{ mu sync.Mutex }
+
+func lockIndex(ix *index) {
+	ix.mu.Lock()
+	ix.mu.Unlock()
+}
+
+// The edge through the helper call counts: journal is held while the
+// callee (transitively) takes index.
+func journalThenIndex(j *journal, ix *index) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	lockIndex(ix) // want "call to lockIndex acquires fixture.index.mu while fixture.journal.mu is held"
+}
+
+func indexThenJournal(j *journal, ix *index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	j.mu.Lock() // want "fixture.journal.mu acquired while fixture.index.mu is held, completing a lock-order cycle"
+	j.mu.Unlock()
+}

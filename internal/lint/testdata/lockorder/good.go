@@ -1,0 +1,45 @@
+// A consistent global order — outer before inner, everywhere, including
+// through helpers — has no cycle.
+package fixture
+
+import "sync"
+
+type outer struct{ mu sync.Mutex }
+type inner struct{ mu sync.Mutex }
+
+func pair(o *outer, i *inner) {
+	o.mu.Lock()
+	i.mu.Lock()
+	i.mu.Unlock()
+	o.mu.Unlock()
+}
+
+func pairAgain(o *outer, i *inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	lockInner(i)
+}
+
+func lockInner(i *inner) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+}
+
+// Hand-over-hand over two instances of the same type is a self-edge in
+// the type-keyed graph and never reported.
+func handOverHand(a, b *inner) {
+	a.mu.Lock()
+	b.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// A local mutex cannot participate in a cross-goroutine cycle; it is
+// untracked.
+func localLock(o *outer) {
+	var mu sync.Mutex
+	mu.Lock()
+	o.mu.Lock()
+	o.mu.Unlock()
+	mu.Unlock()
+}

@@ -1,0 +1,25 @@
+// Typed cases: same-named methods whose first parameter is not a
+// metric name (plain string) or a trace Kind.
+package fixture
+
+// mailer.Emit takes a message string, not a trace.Kind — a literal is
+// fine here.
+type mailer struct{}
+
+func (mailer) Emit(msg string) {}
+
+func notify(m mailer) {
+	m.Emit("job done")
+}
+
+// writer.Begin takes a section name, not a Kind; its literal argument
+// is not a trace kind either.
+type section struct{}
+type writer struct{}
+
+func (writer) Begin(name string) section { return section{} }
+
+func render(w writer) {
+	s := w.Begin("header")
+	_ = s
+}

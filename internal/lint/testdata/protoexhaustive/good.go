@@ -1,0 +1,47 @@
+// The complete contract: every constant both emitted and dispatched
+// (case arm, comparison, or handler-table key), every registered type
+// handled by a switch arm.
+package fixture
+
+import "imapreduce/internal/kv"
+
+const (
+	cmdHalt  = 10
+	cmdFlush = 11
+	kindPing = "ping"
+)
+
+func sendCmds() []frameMsg {
+	return []frameMsg{{kind: cmdHalt}, {kind: cmdFlush}}
+}
+
+func dispatchCmd(m frameMsg) bool {
+	switch m.kind {
+	case cmdHalt:
+		return true
+	}
+	// Comparison dispatch counts too.
+	return m.kind == cmdFlush
+}
+
+func pingFrame() frameMsg { return frameMsg{payload: []byte(kindPing)} }
+
+// A handler table keyed by the constant is a dispatch site.
+var pingHandlers = map[string]func(){
+	kindPing: func() {},
+}
+
+// pingMsg is registered and handled: the full round trip.
+type pingMsg struct{ T int }
+
+func registerPing() {
+	kv.RegisterWireType(&pingMsg{})
+}
+
+func route(v any) bool {
+	switch v.(type) {
+	case *pingMsg:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+// Typed cases: same-named calls that are not the guarded APIs.
+package fixture
+
+import "os"
+
+// Package functions are not the DFS commit path even when the name
+// matches; a discarded os.WriteFile/os.Rename error is not sendcheck's
+// concern.
+func hostFiles() {
+	os.WriteFile("/tmp/imr-fixture", nil, 0o644)
+	os.Rename("/tmp/imr-fixture", "/tmp/imr-fixture-2")
+}
+
+// counter.Send returns nothing — there is no error to discard.
+type counter struct{}
+
+func (counter) Send(v int) {}
+
+func bump(c counter) {
+	c.Send(1)
+}

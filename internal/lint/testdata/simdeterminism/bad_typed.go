@@ -1,0 +1,15 @@
+// Typed case: the type facts see map-ness the name tracking cannot —
+// a map reached through a struct field.
+package fixture
+
+type graphSched struct {
+	weights map[string]int
+}
+
+func (g *graphSched) order() []string {
+	var out []string
+	for name := range g.weights {
+		out = append(out, name) // want "append inside range over map g.weights"
+	}
+	return out
+}

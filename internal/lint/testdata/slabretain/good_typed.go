@@ -1,0 +1,12 @@
+// Typed case: Release on a type that is not kv.Slab transfers no
+// pooled memory; uses after it are fine.
+package fixture
+
+type lease struct{ id int }
+
+func (lease) Release() {}
+
+func dropLease(l lease) int {
+	l.Release()
+	return l.id
+}

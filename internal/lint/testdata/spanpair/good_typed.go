@@ -1,0 +1,13 @@
+// Typed case: Begin returning (value, error) is a transaction-style
+// API, not a trace span — discarding or not "ending" it is fine.
+package fixture
+
+type tx struct{}
+type db struct{}
+
+func (db) Begin() (tx, error) { return tx{}, nil }
+
+func dbUse(d db) error {
+	_, err := d.Begin()
+	return err
+}

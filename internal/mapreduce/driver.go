@@ -72,6 +72,10 @@ type IterResult struct {
 }
 
 // RunIterative executes the chained-jobs pattern on e.
+//
+// Deprecated: use RunIterativeCtx or imr.Cluster.Submit with a Chain spec.
+// Both bound the chain with a context; Submit also returns a cancellable
+// handle.
 func RunIterative(e *Engine, spec IterSpec) (*IterResult, error) {
 	return RunIterativeCtx(context.Background(), e, spec)
 }
